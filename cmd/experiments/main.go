@@ -1,0 +1,95 @@
+// Command experiments regenerates the paper's evaluation (every figure
+// of Section VI) plus the ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig3a,fig4b
+//	experiments -run all -out results -quick
+//
+// Each experiment prints a paper-style ASCII table; with -out set, a CSV
+// per experiment is written into the directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"eventcap/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		list   = fs.Bool("list", false, "list experiment ids and exit")
+		runID  = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+		outDir = fs.String("out", "", "directory to write CSV files into (optional)")
+		quick  = fs.Bool("quick", false, "reduced sweeps and shorter runs")
+		slots  = fs.Int64("slots", 0, "override simulation length T (default 1e6; 1e5 with -quick)")
+		seed   = fs.Uint64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(out, "%-22s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	var selected []experiments.Experiment
+	if *runID == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runID, ",") {
+			id = strings.TrimSpace(id)
+			exp, ok := experiments.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, exp)
+		}
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("no experiments selected")
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return fmt.Errorf("creating output directory: %w", err)
+		}
+	}
+
+	opts := experiments.Options{Slots: *slots, Seed: *seed, Quick: *quick}
+	for _, exp := range selected {
+		start := time.Now()
+		table, err := exp.Run(opts)
+		if err != nil {
+			return fmt.Errorf("running %s: %w", exp.ID, err)
+		}
+		fmt.Fprintln(out, table.ASCII())
+		fmt.Fprintf(out, "(%s finished in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+		if *outDir != "" {
+			path := filepath.Join(*outDir, exp.ID+".csv")
+			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
+				return fmt.Errorf("writing %s: %w", path, err)
+			}
+			fmt.Fprintf(out, "wrote %s\n\n", path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListPrintsAllExperiments(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, id := range []string{"fig3a", "fig6b", "ablation-lp", "ablation-multipoi"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list output missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-run", "ablation-lp", "-quick", "-out", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "ablation-lp.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "greedy W(40,3)") {
+		t.Errorf("CSV missing expected series:\n%s", data)
+	}
+	if !strings.Contains(sb.String(), "ablation-lp —") {
+		t.Errorf("missing ASCII table:\n%s", sb.String())
+	}
+}
+
+func TestRunRejectsUnknownID(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "nope"}, &sb); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,129 @@
+// Command policycalc computes and prints the paper's activation policies
+// for a given workload and recharge rate, without running a simulation:
+// the greedy full-information policy π*_FI(e) (Theorem 1), the
+// partial-information clustering policy π'_PI(e) with its region
+// structure, and, for Markov workloads, the EBCW comparison policy.
+//
+// Usage:
+//
+//	policycalc -dist weibull:40,3 -e 0.5
+//	policycalc -dist markov:0.3,0.2 -e 1 -delta1 1 -delta2 6
+//	policycalc -dist pareto:2,10 -e 0.4 -refine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"eventcap/internal/cliutil"
+	"eventcap/internal/core"
+	"eventcap/internal/dist"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "policycalc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("policycalc", flag.ContinueOnError)
+	var (
+		distSpec = fs.String("dist", "weibull:40,3", "inter-arrival distribution (name:params)")
+		e        = fs.Float64("e", 0.5, "average recharge rate (energy/slot)")
+		delta1   = fs.Float64("delta1", 1, "sensing energy per active slot")
+		delta2   = fs.Float64("delta2", 6, "extra energy per capture")
+		refine   = fs.Bool("refine", false, "also run the window refinement of pi'_PI")
+		theta1   = fs.Int("theta1", 3, "theta1 for the periodic baseline calibration")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := cliutil.ParseDist(*distSpec)
+	if err != nil {
+		return err
+	}
+	p := core.Params{Delta1: *delta1, Delta2: *delta2}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "workload        %s (mu = %.4f slots)\n", d.Name(), d.Mean())
+	fmt.Fprintf(out, "energy          delta1=%g delta2=%g, e=%g (saturation %0.4f)\n",
+		p.Delta1, p.Delta2, *e, p.SaturationRate(d.Mean()))
+
+	fi, err := core.GreedyFI(d, *e, p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\npi*_FI (Theorem 1 greedy, full information)\n")
+	fmt.Fprintf(out, "  U = %.4f  energy rate = %.4f  budget e*mu = %.4f\n",
+		fi.CaptureProb, fi.EnergyRate, fi.Budget)
+	fmt.Fprintf(out, "  vector: %s\n", describeVector(fi.Policy))
+
+	pi, err := core.OptimizeClustering(d, *e, p, core.ClusteringOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\npi'_PI (clustering heuristic, partial information)\n")
+	fmt.Fprintf(out, "  U = %.4f  energy rate = %.4f\n", pi.CaptureProb, pi.EnergyRate)
+	fmt.Fprintf(out, "  regions: cooling [1,%d)  hot [%d,%d]  cooling (%d,%d)  recovery [%d,inf)\n",
+		pi.Policy.N1, pi.Policy.N1, pi.Policy.N2, pi.Policy.N2, pi.Policy.N3, pi.Policy.N3)
+	fmt.Fprintf(out, "  boundaries: C1=%.4f C2=%.4f C3=%.4f\n", pi.Policy.C1, pi.Policy.C2, pi.Policy.C3)
+
+	if *refine {
+		ref, err := core.RefineWindows(d, *e, p, pi, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwindow-refined pi'_PI (extra transition points)\n")
+		fmt.Fprintf(out, "  U = %.4f (gain %+.4f)  energy rate = %.4f  windows = %d\n",
+			ref.CaptureProb, ref.CaptureProb-ref.BaseCaptureProb, ref.EnergyRate, len(ref.Policy.Windows))
+		for _, w := range ref.Policy.Windows {
+			fmt.Fprintf(out, "  sleep window: states [%d, %d)\n", w.Start, w.Start+w.Len)
+		}
+	}
+
+	theta2, err := core.PeriodicTheta2(*theta1, *e, d, p)
+	if err == nil {
+		fmt.Fprintf(out, "\nbaselines\n")
+		fmt.Fprintf(out, "  pi_PE: theta1=%d theta2=%.2f  ->  U ~= %.4f\n", *theta1, theta2, core.PeriodicU(*theta1, theta2))
+		fmt.Fprintf(out, "  pi_AG: U ~= %.4f\n", core.AggressiveU(d, *e, p))
+	}
+
+	if mr, ok := d.(*dist.MarkovRenewal); ok {
+		eb, err := core.OptimizeEBCW(mr.A(), mr.B(), *e, p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  pi_EBCW (last-observation class of [6]): PYes=%.3f PNo=%.3f  U = %.4f\n",
+			eb.PYes, eb.PNo, eb.CaptureU)
+	}
+	return nil
+}
+
+// describeVector prints a compact run-length form of an activation
+// vector.
+func describeVector(v core.Vector) string {
+	var parts []string
+	i := 1
+	limit := len(v.Prefix)
+	for i <= limit {
+		c := v.At(i)
+		j := i
+		for j+1 <= limit && v.At(j+1) == c {
+			j++
+		}
+		if i == j {
+			parts = append(parts, fmt.Sprintf("c%d=%.3f", i, c))
+		} else {
+			parts = append(parts, fmt.Sprintf("c%d..c%d=%.3f", i, j, c))
+		}
+		i = j + 1
+	}
+	parts = append(parts, fmt.Sprintf("tail=%.3f", v.Tail))
+	return strings.Join(parts, "  ")
+}

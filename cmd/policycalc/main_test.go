@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runToString(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "out.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := run(args, f)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestPolicycalcWeibull(t *testing.T) {
+	out, err := runToString(t, []string{"-dist", "weibull:40,3", "-e", "0.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Weibull(40,3)",
+		"pi*_FI",
+		"pi'_PI",
+		"regions:",
+		"pi_PE:",
+		"pi_AG:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPolicycalcMarkovIncludesEBCW(t *testing.T) {
+	out, err := runToString(t, []string{"-dist", "markov:0.7,0.6", "-e", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "pi_EBCW") {
+		t.Errorf("Markov workload should print the EBCW policy:\n%s", out)
+	}
+}
+
+func TestPolicycalcRefine(t *testing.T) {
+	out, err := runToString(t, []string{"-dist", "uniform:4,9", "-e", "0.4", "-refine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "window-refined") {
+		t.Errorf("-refine should print the refined policy:\n%s", out)
+	}
+}
+
+func TestPolicycalcErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-dist", "bogus:1"},
+		{"-dist", "weibull:40,3", "-delta1", "-1"},
+		{"-dist", "weibull:40,3", "-e", "-0.5"},
+	} {
+		if _, err := runToString(t, args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestDescribeVectorRunLength(t *testing.T) {
+	out, err := runToString(t, []string{"-dist", "deterministic:6", "-e", "0.2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic(6) greedy: single active state 6 → run-length form
+	// must mention c6.
+	if !strings.Contains(out, "c6") {
+		t.Errorf("expected run-length description with c6:\n%s", out)
+	}
+}

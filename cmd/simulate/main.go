@@ -1,0 +1,178 @@
+// Command simulate runs one event-capture simulation from flags: choose
+// workload, recharge, policy, information model, number of sensors, and
+// coordination mode; it prints the measured QoM and per-sensor stats.
+//
+// Usage:
+//
+//	simulate -dist weibull:40,3 -recharge bernoulli:0.5,1 -policy greedy -T 1000000
+//	simulate -dist pareto:2,10 -recharge bernoulli:0.5,2 -policy clustering -info partial
+//	simulate -dist weibull:40,3 -recharge bernoulli:0.1,1 -policy clustering -info partial -n 5 -mode roundrobin
+//	simulate -dist markov:0.3,0.2 -recharge constant:1 -policy ebcw -info partial
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eventcap/internal/cliutil"
+	"eventcap/internal/core"
+	"eventcap/internal/dist"
+	"eventcap/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	var (
+		distSpec = fs.String("dist", "weibull:40,3", "inter-arrival distribution (name:params)")
+		rechSpec = fs.String("recharge", "bernoulli:0.5,1", "recharge process (name:params)")
+		policy   = fs.String("policy", "greedy", "policy: greedy | clustering | refined | aggressive | periodic | ebcw")
+		infoStr  = fs.String("info", "full", "information model: full | partial")
+		n        = fs.Int("n", 1, "number of sensors")
+		mode     = fs.String("mode", "roundrobin", "coordination for n>1: roundrobin | blocks | all")
+		capK     = fs.Float64("k", 1000, "battery capacity K")
+		slots    = fs.Int64("T", 1_000_000, "simulation length in slots")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		delta1   = fs.Float64("delta1", 1, "sensing energy per active slot")
+		delta2   = fs.Float64("delta2", 6, "extra energy per capture")
+		theta1   = fs.Int("theta1", 3, "theta1 for the periodic policy")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	d, err := cliutil.ParseDist(*distSpec)
+	if err != nil {
+		return err
+	}
+	newRecharge, err := cliutil.ParseRecharge(*rechSpec)
+	if err != nil {
+		return err
+	}
+	p := core.Params{Delta1: *delta1, Delta2: *delta2}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+
+	var info sim.Info
+	switch *infoStr {
+	case "full":
+		info = sim.FullInfo
+	case "partial":
+		info = sim.PartialInfo
+	default:
+		return fmt.Errorf("unknown info model %q", *infoStr)
+	}
+
+	e := newRecharge().Mean()
+	aggregate := float64(*n) * e
+
+	cfg := sim.Config{
+		Dist:        d,
+		Params:      p,
+		NewRecharge: newRecharge,
+		N:           *n,
+		BatteryCap:  *capK,
+		Slots:       *slots,
+		Seed:        *seed,
+		Info:        info,
+	}
+	switch *mode {
+	case "roundrobin":
+		cfg.Mode = sim.ModeRoundRobin
+	case "all":
+		cfg.Mode = sim.ModeAll
+	case "blocks":
+		cfg.Mode = sim.ModeBlocks // BlockLen set below for periodic
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	if *n == 1 {
+		cfg.Mode = sim.ModeAll
+	}
+
+	var analytic float64
+	switch *policy {
+	case "greedy":
+		fi, err := core.GreedyFI(d, aggregate, p)
+		if err != nil {
+			return err
+		}
+		analytic = fi.CaptureProb
+		cfg.NewPolicy = func(int) sim.Policy { return &sim.VectorFI{Vector: fi.Policy, Label: "greedy"} }
+	case "clustering", "refined":
+		pi, err := core.OptimizeClustering(d, aggregate, p, core.ClusteringOptions{})
+		if err != nil {
+			return err
+		}
+		vec, u := pi.Vector, pi.CaptureProb
+		if *policy == "refined" {
+			ref, err := core.RefineWindows(d, aggregate, p, pi, 2)
+			if err != nil {
+				return err
+			}
+			vec, u = ref.Vector, ref.CaptureProb
+		}
+		analytic = u
+		cfg.NewPolicy = func(int) sim.Policy { return &sim.VectorPI{Vector: vec, Label: *policy} }
+	case "aggressive":
+		analytic = core.AggressiveU(d, e, p)
+		cfg.NewPolicy = func(int) sim.Policy { return sim.Aggressive{} }
+	case "periodic":
+		theta2, err := core.PeriodicTheta2(*theta1, aggregate, d, p)
+		if err != nil {
+			return err
+		}
+		pe, err := sim.NewPeriodic(*theta1, theta2)
+		if err != nil {
+			return err
+		}
+		analytic = core.PeriodicU(*theta1, theta2)
+		cfg.NewPolicy = func(int) sim.Policy { return pe }
+		if cfg.Mode == sim.ModeBlocks {
+			cfg.BlockLen = pe.Theta2
+		}
+	case "ebcw":
+		mr, ok := d.(*dist.MarkovRenewal)
+		if !ok {
+			return fmt.Errorf("policy ebcw requires -dist markov:a,b")
+		}
+		eb, err := core.OptimizeEBCW(mr.A(), mr.B(), aggregate, p)
+		if err != nil {
+			return err
+		}
+		analytic = eb.CaptureU
+		cfg.NewPolicy = func(int) sim.Policy { return sim.NewEBCW(eb) }
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+	if cfg.Mode == sim.ModeBlocks && cfg.BlockLen == 0 {
+		return fmt.Errorf("mode blocks is only meaningful with -policy periodic")
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload   %s (mu=%.2f), recharge %s (e=%.4f/sensor), policy %s, info %s\n",
+		d.Name(), d.Mean(), newRecharge().Name(), e, *policy, *infoStr)
+	fmt.Printf("sensors    N=%d, K=%g, T=%d slots\n", *n, *capK, *slots)
+	fmt.Printf("events     %d   captured %d\n", res.Events, res.Captures)
+	fmt.Printf("QoM        %.4f   (analytic, energy assumption: %.4f)\n", res.QoM, analytic)
+	if *n > 1 {
+		fmt.Printf("balance    load imbalance (max-min)/mean activations = %.4f\n", res.LoadImbalance())
+	}
+	for i, s := range res.Sensors {
+		fmt.Printf("sensor %-2d  activations=%d captures=%d denied=%d energyUsed=%.0f battery=%.1f\n",
+			i+1, s.Activations, s.Captures, s.Denied, s.EnergyConsumed, s.FinalBattery)
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+// Package eventcap is a Go reproduction of "Dynamic Activation Policies
+// for Event Capture with Rechargeable Sensors" (Ren, Cheng, Chen, Yau,
+// Sun — ICDCS 2012): optimal and heuristic duty-cycling policies for
+// energy-harvesting sensors that must catch renewal-process events in the
+// slot they occur.
+//
+// The implementation lives in internal packages:
+//
+//   - internal/core — the paper's policies: the Theorem-1 greedy
+//     full-information policy, its LP cross-check, the partial-information
+//     clustering heuristic with region optimizer, the window refinement,
+//     the EBCW comparison policy, and the exact renewal-age Bayes filter.
+//   - internal/dist, internal/renewal — slotted inter-arrival
+//     distributions and discrete renewal theory.
+//   - internal/energy — batteries and recharge processes.
+//   - internal/mdp — average-reward MDP machinery and an exact
+//     finite-horizon POMDP solver.
+//   - internal/sim — the slotted simulator (single- and multi-sensor).
+//   - internal/experiments — one registered experiment per paper figure
+//     plus ablations.
+//
+// Binaries: cmd/experiments (regenerate every figure), cmd/policycalc
+// (inspect computed policies), cmd/simulate (one-off runs). Runnable
+// examples live under examples/. The benchmarks in bench_test.go
+// regenerate each figure in reduced form; see EXPERIMENTS.md for the full
+// paper-vs-measured record.
+package eventcap

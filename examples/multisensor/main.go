@@ -1,0 +1,110 @@
+// Multi-sensor collaboration (paper Section V): a single harvesting
+// sensor's recharge rate is often too low for useful coverage, so N
+// sensors share one point of interest. The example contrasts three ways
+// to use them under partial information:
+//
+//  1. uncoordinated — every sensor runs its own single-sensor policy on
+//     its own information (redundant activations),
+//  2. M-PI — round-robin slot ownership with the clustering policy
+//     computed for the aggregate rate N·e and captures broadcast,
+//  3. the multi-sensor aggressive baseline on the same slot assignment.
+//
+// Run with: go run ./examples/multisensor
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"eventcap/internal/core"
+	"eventcap/internal/dist"
+	"eventcap/internal/energy"
+	"eventcap/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "multisensor:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	events, err := dist.NewWeibull(40, 3)
+	if err != nil {
+		return err
+	}
+	params := core.DefaultParams()
+	const (
+		perSensorE = 0.1 // slow harvesting: a lone sensor is nearly blind
+		capK       = 1000
+		slots      = 1_000_000
+	)
+	fmt.Printf("workload %s, per-sensor harvest e = %.2f (saturation would need %.2f)\n\n",
+		events.Name(), perSensorE, params.SaturationRate(events.Mean()))
+
+	newRecharge := func() energy.Recharge {
+		r, _ := energy.NewBernoulli(0.1, perSensorE/0.1)
+		return r
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "N\tuncoordinated\tM-PI\taggressive RR\tM-PI imbalance")
+	for _, n := range []int{1, 2, 4, 8} {
+		// Uncoordinated: each sensor optimizes for its OWN rate e and
+		// acts on its own capture history.
+		solo, err := core.OptimizeClustering(events, perSensorE, params, core.ClusteringOptions{})
+		if err != nil {
+			return err
+		}
+		unco, err := sim.Run(sim.Config{
+			Dist: events, Params: params, NewRecharge: newRecharge,
+			NewPolicy:  func(int) sim.Policy { return &sim.VectorPI{Vector: solo.Vector} },
+			N:          n,
+			Mode:       sim.ModeAll,
+			BatteryCap: capK, Slots: slots, Seed: uint64(10 + n), Info: sim.PartialInfo,
+		})
+		if err != nil {
+			return err
+		}
+
+		// M-PI: the clustering policy for the aggregate rate N·e, slots
+		// owned round robin, captures broadcast.
+		team, err := core.OptimizeClustering(events, float64(n)*perSensorE, params, core.ClusteringOptions{})
+		if err != nil {
+			return err
+		}
+		mpi, err := sim.Run(sim.Config{
+			Dist: events, Params: params, NewRecharge: newRecharge,
+			NewPolicy:  func(int) sim.Policy { return &sim.VectorPI{Vector: team.Vector} },
+			N:          n,
+			Mode:       sim.ModeRoundRobin,
+			BatteryCap: capK, Slots: slots, Seed: uint64(20 + n), Info: sim.PartialInfo,
+		})
+		if err != nil {
+			return err
+		}
+
+		agg, err := sim.Run(sim.Config{
+			Dist: events, Params: params, NewRecharge: newRecharge,
+			NewPolicy:  func(int) sim.Policy { return sim.Aggressive{} },
+			N:          n,
+			Mode:       sim.ModeRoundRobin,
+			BatteryCap: capK, Slots: slots, Seed: uint64(30 + n), Info: sim.PartialInfo,
+		})
+		if err != nil {
+			return err
+		}
+
+		fmt.Fprintf(w, "%d\t%.4f\t%.4f\t%.4f\t%.3f\n",
+			n, unco.QoM, mpi.QoM, agg.QoM, mpi.LoadImbalance())
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\ntakeaways: M-PI converts N slow sensors into one fast logical sensor;")
+	fmt.Println("uncoordinated sensors waste activations on the same slots; the aggressive")
+	fmt.Println("baseline grows only linearly with N (paper Fig. 6(a)).")
+	return nil
+}

@@ -1,0 +1,74 @@
+// Quickstart: compute the optimal full-information activation policy for
+// a Weibull workload (Theorem 1), inspect it, and verify by simulation
+// that a sensor with a finite battery achieves the predicted capture
+// probability.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"eventcap/internal/core"
+	"eventcap/internal/dist"
+	"eventcap/internal/energy"
+	"eventcap/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Model the events: inter-arrival times ~ Weibull(40, 3). Shape 3
+	// means an increasing hazard — events cluster around 36 slots apart,
+	// so there is real memory to exploit.
+	events, err := dist.NewWeibull(40, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %s, mean gap %.1f slots\n", events.Name(), events.Mean())
+
+	// 2. Energy model: δ1 = 1 per active slot, δ2 = 6 extra per capture,
+	// harvesting e = 0.5 units/slot on average.
+	params := core.DefaultParams()
+	const e = 0.5
+
+	// 3. Theorem 1: the greedy policy spends the per-cycle budget e·μ on
+	// the slots with the highest conditional event probability.
+	policy, err := core.GreedyFI(events, e, params)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("greedy policy: sleeps through the first slots, activates from the hazard ramp\n")
+	fmt.Printf("  analytic capture probability U = %.4f (energy-balanced at e = %.2f)\n",
+		policy.CaptureProb, policy.EnergyRate)
+
+	// 4. Reality check: a sensor with a K = 1000 battery, recharged by a
+	// random Bernoulli process, simulated for a million slots.
+	result, err := sim.Run(sim.Config{
+		Dist:   events,
+		Params: params,
+		NewRecharge: func() energy.Recharge {
+			r, _ := energy.NewBernoulli(0.5, 1) // 1 unit with prob 0.5 → e = 0.5
+			return r
+		},
+		NewPolicy:  func(int) sim.Policy { return &sim.VectorFI{Vector: policy.Policy} },
+		BatteryCap: 1000,
+		Slots:      1_000_000,
+		Seed:       7,
+		Info:       sim.FullInfo,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated: %d events, %d captured → QoM = %.4f\n",
+		result.Events, result.Captures, result.QoM)
+	fmt.Printf("gap to theory: %+.4f (vanishes as K grows — the paper's Fig. 3)\n",
+		result.QoM-policy.CaptureProb)
+	return nil
+}

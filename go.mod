@@ -1,0 +1,3 @@
+module eventcap
+
+go 1.22

@@ -1,0 +1,148 @@
+package eventcap_test
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"eventcap/internal/core"
+	"eventcap/internal/dist"
+	"eventcap/internal/energy"
+	"eventcap/internal/renewal"
+	"eventcap/internal/sim"
+	"eventcap/internal/stats"
+)
+
+// TestPipelineComputeShipSimulate is the full deployment story: the base
+// station optimizes a policy, serializes it, a "node" deserializes it and
+// runs it; measured QoM matches the analytic prediction within a
+// batch-means confidence interval.
+func TestPipelineComputeShipSimulate(t *testing.T) {
+	d, err := dist.NewWeibull(40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.DefaultParams()
+	const e = 0.5
+
+	pi, err := core.OptimizeClustering(d, e, p, core.ClusteringOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := json.Marshal(pi.Policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var node core.ClusteringPolicy
+	if err := json.Unmarshal(wire, &node); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run several independent replications and bracket the analytic U.
+	var qoms []float64
+	for seed := uint64(1); seed <= 8; seed++ {
+		res, err := sim.Run(sim.Config{
+			Dist:   d,
+			Params: p,
+			NewRecharge: func() energy.Recharge {
+				r, _ := energy.NewBernoulli(0.5, 1)
+				return r
+			},
+			NewPolicy:  func(int) sim.Policy { return &sim.VectorPI{Vector: node.Vector()} },
+			BatteryCap: 1000,
+			Slots:      400_000,
+			Seed:       seed,
+			Info:       sim.PartialInfo,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qoms = append(qoms, res.QoM)
+	}
+	iv, err := stats.MeanCI(qoms, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow for the small finite-K bias below the analytic bound.
+	if iv.Lo > pi.CaptureProb || iv.Hi < pi.CaptureProb-0.03 {
+		t.Fatalf("CI [%v, %v] inconsistent with analytic U %v", iv.Lo, iv.Hi, pi.CaptureProb)
+	}
+}
+
+// TestCrossPackageHazardConsistency ties three independent computations
+// of the same quantity together: the distribution's hazard, the renewal
+// process's residual hazard after unobserved slots, and the belief
+// filter's prediction.
+func TestCrossPackageHazardConsistency(t *testing.T) {
+	d, err := dist.NewEmpirical([]float64{0.1, 0.4, 0.3, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := dist.Tabulate(d, 1e-12, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := renewal.New(tab.Alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter := core.NewBeliefFilter(d)
+	for step := 0; step < 40; step++ {
+		fromRenewal := proc.Mass(step + 1)
+		fromFilter := filter.EventProb()
+		if math.Abs(fromRenewal-fromFilter) > 1e-9 {
+			t.Fatalf("step %d: renewal %v vs filter %v", step, fromRenewal, fromFilter)
+		}
+		filter.AdvanceNoCapture(0)
+	}
+}
+
+// TestFullVsPartialInformationOrdering: with everything else equal, more
+// information can only help — measured end to end through the simulator.
+func TestFullVsPartialInformationOrdering(t *testing.T) {
+	d, err := dist.NewWeibull(40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.DefaultParams()
+	const e = 0.4
+
+	fi, err := core.GreedyFI(d, e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := core.OptimizeClustering(d, e, p, core.ClusteringOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(info sim.Info, vec core.Vector) float64 {
+		var mk func(int) sim.Policy
+		if info == sim.FullInfo {
+			mk = func(int) sim.Policy { return &sim.VectorFI{Vector: vec} }
+		} else {
+			mk = func(int) sim.Policy { return &sim.VectorPI{Vector: vec} }
+		}
+		res, err := sim.Run(sim.Config{
+			Dist:   d,
+			Params: p,
+			NewRecharge: func() energy.Recharge {
+				r, _ := energy.NewBernoulli(0.5, e/0.5)
+				return r
+			},
+			NewPolicy:  mk,
+			BatteryCap: 1000,
+			Slots:      800_000,
+			Seed:       3,
+			Info:       info,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.QoM
+	}
+	full := run(sim.FullInfo, fi.Policy)
+	partial := run(sim.PartialInfo, pi.Vector)
+	if partial > full+0.02 {
+		t.Fatalf("partial information (%v) beat full information (%v)", partial, full)
+	}
+}

@@ -1,0 +1,160 @@
+// Package cliutil parses the command-line mini-language shared by the
+// cmd/ binaries: distribution and recharge-process specs of the form
+// "name:param1,param2".
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"eventcap/internal/dist"
+	"eventcap/internal/energy"
+)
+
+// splitSpec parses "name:1,2" into the name and its float parameters.
+func splitSpec(spec string) (string, []float64, error) {
+	name, rest, _ := strings.Cut(spec, ":")
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "" {
+		return "", nil, fmt.Errorf("cliutil: empty spec")
+	}
+	var params []float64
+	if strings.TrimSpace(rest) != "" {
+		for _, tok := range strings.Split(rest, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				return "", nil, fmt.Errorf("cliutil: bad parameter %q in %q", tok, spec)
+			}
+			params = append(params, v)
+		}
+	}
+	return name, params, nil
+}
+
+func wantParams(spec string, params []float64, n int) error {
+	if len(params) != n {
+		return fmt.Errorf("cliutil: %q needs %d parameters, got %d", spec, n, len(params))
+	}
+	return nil
+}
+
+// ParseDist builds an inter-arrival distribution from a spec:
+//
+//	weibull:SCALE,SHAPE      e.g. weibull:40,3   (the paper's W(40,3))
+//	pareto:INDEX,MIN         e.g. pareto:2,10    (the paper's P(2,10))
+//	geometric:P              memoryless, the Poisson analog
+//	deterministic:D          fixed D-slot gaps
+//	uniform:LO,HI            uniform on integer slots [LO, HI]
+//	markov:A,B               renewal view of a 2-state Markov chain
+//	lognormal:MU,SIGMA       ln X ~ N(MU, SIGMA^2); unimodal hazard
+//	negbinomial:K,P          sum of K Geometric(P) stages (discrete Erlang)
+func ParseDist(spec string) (dist.Interarrival, error) {
+	name, params, err := splitSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case "weibull":
+		if err := wantParams(spec, params, 2); err != nil {
+			return nil, err
+		}
+		return dist.NewWeibull(params[0], params[1])
+	case "pareto":
+		if err := wantParams(spec, params, 2); err != nil {
+			return nil, err
+		}
+		return dist.NewPareto(params[0], params[1])
+	case "geometric":
+		if err := wantParams(spec, params, 1); err != nil {
+			return nil, err
+		}
+		return dist.NewGeometric(params[0])
+	case "deterministic":
+		if err := wantParams(spec, params, 1); err != nil {
+			return nil, err
+		}
+		return dist.NewDeterministic(int(params[0]))
+	case "uniform":
+		if err := wantParams(spec, params, 2); err != nil {
+			return nil, err
+		}
+		return dist.NewUniformInt(int(params[0]), int(params[1]))
+	case "markov":
+		if err := wantParams(spec, params, 2); err != nil {
+			return nil, err
+		}
+		return dist.NewMarkovRenewal(params[0], params[1])
+	case "lognormal":
+		if err := wantParams(spec, params, 2); err != nil {
+			return nil, err
+		}
+		return dist.NewLogNormal(params[0], params[1])
+	case "negbinomial", "erlang":
+		if err := wantParams(spec, params, 2); err != nil {
+			return nil, err
+		}
+		return dist.NewNegBinomial(int(params[0]), params[1])
+	default:
+		return nil, fmt.Errorf("cliutil: unknown distribution %q (want weibull, pareto, geometric, deterministic, uniform, markov, lognormal, negbinomial)", name)
+	}
+}
+
+// ParseRecharge returns a factory for recharge processes from a spec:
+//
+//	bernoulli:Q,C            C units with probability Q per slot
+//	periodic:AMOUNT,PERIOD   AMOUNT units every PERIOD slots
+//	constant:E               E units every slot
+//	gaussian:MU,SIGMA        max(0, N(MU, SIGMA^2)) per slot
+//	onoff:AMT,P_OFF,P_ON     bursty two-state source
+//
+// A factory is returned (rather than an instance) because stateful
+// processes must be per-sensor.
+func ParseRecharge(spec string) (func() energy.Recharge, error) {
+	name, params, err := splitSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	// Validate eagerly by constructing once.
+	var factory func() (energy.Recharge, error)
+	switch name {
+	case "bernoulli":
+		if err := wantParams(spec, params, 2); err != nil {
+			return nil, err
+		}
+		factory = func() (energy.Recharge, error) { return energy.NewBernoulli(params[0], params[1]) }
+	case "periodic":
+		if err := wantParams(spec, params, 2); err != nil {
+			return nil, err
+		}
+		factory = func() (energy.Recharge, error) { return energy.NewPeriodic(params[0], int(params[1])) }
+	case "constant":
+		if err := wantParams(spec, params, 1); err != nil {
+			return nil, err
+		}
+		factory = func() (energy.Recharge, error) { return energy.NewConstant(params[0]) }
+	case "gaussian":
+		if err := wantParams(spec, params, 2); err != nil {
+			return nil, err
+		}
+		factory = func() (energy.Recharge, error) { return energy.NewClippedGaussian(params[0], params[1]) }
+	case "onoff":
+		if err := wantParams(spec, params, 3); err != nil {
+			return nil, err
+		}
+		factory = func() (energy.Recharge, error) { return energy.NewOnOff(params[0], params[1], params[2]) }
+	default:
+		return nil, fmt.Errorf("cliutil: unknown recharge process %q (want bernoulli, periodic, constant, gaussian, onoff)", name)
+	}
+	if _, err := factory(); err != nil {
+		return nil, err
+	}
+	return func() energy.Recharge {
+		r, err := factory()
+		if err != nil {
+			// Parameters were validated above; this is unreachable.
+			panic(fmt.Sprintf("cliutil: recharge factory failed after validation: %v", err))
+		}
+		return r
+	}, nil
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"eventcap/internal/dist"
+)
+
+// PeriodicTheta2 returns the energy-balanced period θ2 for the paper's
+// periodic baseline π_PE, which activates the sensor for θ1 slots out of
+// every θ2 (Section VI-A2):
+//
+//	θ2(e) = θ1·δ1/e + θ1·δ2/(e·μ)
+//
+// Per θ2-period the sensor spends θ1·δ1 sensing and captures a θ1/θ2
+// fraction of the θ2/μ expected events, costing δ2·θ1/μ; equating the
+// total with e·θ2 yields the formula. The returned value is the exact
+// real-valued period; runtime implementations round up so the policy
+// never overdraws.
+func PeriodicTheta2(theta1 int, e float64, d dist.Interarrival, p Params) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if theta1 < 1 {
+		return 0, fmt.Errorf("core: θ1 must be >= 1, got %d", theta1)
+	}
+	if !(e > 0) || math.IsNaN(e) {
+		return 0, fmt.Errorf("core: periodic calibration needs e > 0, got %g", e)
+	}
+	t1 := float64(theta1)
+	theta2 := t1*p.Delta1/e + t1*p.Delta2/(e*d.Mean())
+	if theta2 < t1 {
+		theta2 = t1 // e above saturation: stay always-on
+	}
+	return theta2, nil
+}
+
+// PeriodicU is the asymptotic capture probability of the energy-balanced
+// periodic policy: θ1/θ2, the fraction of slots covered. (Events of an
+// aperiodic renewal process land uniformly over the period phase in the
+// long run.)
+func PeriodicU(theta1 int, theta2 float64) float64 {
+	if theta2 <= 0 {
+		return 0
+	}
+	u := float64(theta1) / theta2
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// AggressiveU is the asymptotic capture probability of the aggressive
+// baseline π_AG (activate whenever B_t >= δ1 + δ2): the active fraction f
+// solves f·δ1 + (f/μ)·δ2 = e, i.e. f = e / (δ1 + δ2/μ), capped at 1.
+// Treating the battery's charge cycle as uncorrelated with the renewal
+// phase, events are captured with probability ≈ f — the "almost linear"
+// growth the paper observes in Figs. 4 and 6. The estimate is slightly
+// pessimistic for increasing-hazard workloads: the δ2 drain after a
+// capture pushes the recovery sleep into the low-hazard slots right
+// after the renewal.
+func AggressiveU(d dist.Interarrival, e float64, p Params) float64 {
+	sat := p.SaturationRate(d.Mean())
+	if e >= sat {
+		return 1
+	}
+	if e <= 0 {
+		return 0
+	}
+	return e / sat
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"eventcap/internal/dist"
+	"eventcap/internal/renewal"
+	"eventcap/internal/rng"
+)
+
+// TestBeliefMatchesRenewalMass cross-validates the filter against the
+// independent renewal-theory implementation (the DESIGN.md substitution
+// argument): after k fully unobserved slots since a capture, the event
+// probability must equal the renewal mass function m(k+1)... shifted by
+// one because the capture itself was the renewal at relative slot 0.
+func TestBeliefMatchesRenewalMass(t *testing.T) {
+	for _, weights := range [][]float64{
+		{0.2, 0.5, 0.3},
+		{0, 0, 1},
+		{0.6, 0.4},
+		{0.1, 0.1, 0.1, 0.3, 0.4},
+	} {
+		d := mustEmpirical(t, weights)
+		tab, err := dist.Tabulate(d, 1e-12, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proc, err := renewal.New(tab.Alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := NewBeliefFilter(d)
+		for step := 0; step < 60; step++ {
+			// At the beginning of slot step+1 (0 unobserved slots means
+			// the capture was last slot): P(event) = m(step+1).
+			got := f.EventProb()
+			want := proc.Mass(step + 1)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("weights %v, step %d: filter %v vs renewal mass %v",
+					weights, step, got, want)
+			}
+			f.AdvanceNoCapture(0)
+		}
+	}
+}
+
+// TestBeliefActiveEqualsHazard: when the sensor is active every slot and
+// captures nothing, the age is known exactly, so the filtered event
+// probability must equal the distribution's hazard β_i.
+func TestBeliefActiveEqualsHazard(t *testing.T) {
+	d := mustWeibull(t, 12, 2.5)
+	f := NewBeliefFilter(d)
+	for i := 1; i <= 30; i++ {
+		if got, want := f.EventProb(), d.Hazard(i); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("state %d: filter %v vs hazard %v", i, got, want)
+		}
+		f.AdvanceNoCapture(1)
+	}
+}
+
+func TestBeliefMassConserved(t *testing.T) {
+	d := mustPareto(t, 2, 10)
+	f := NewBeliefFilter(d)
+	src := rng.New(7, 7)
+	for i := 0; i < 500; i++ {
+		c := src.Float64()
+		f.AdvanceNoCapture(c)
+		if m := f.TotalMass(); math.Abs(m-1) > 1e-9 {
+			t.Fatalf("step %d: belief mass %v", i, m)
+		}
+		if p := f.EventProb(); p < 0 || p > 1 {
+			t.Fatalf("step %d: event probability %v", i, p)
+		}
+	}
+}
+
+func TestBeliefReset(t *testing.T) {
+	d := mustWeibull(t, 8, 2)
+	f := NewBeliefFilter(d)
+	for i := 0; i < 10; i++ {
+		f.AdvanceNoCapture(0.5)
+	}
+	f.Reset()
+	if got, want := f.EventProb(), d.Hazard(1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("after reset EventProb %v, want β1 %v", got, want)
+	}
+	b := f.Belief()
+	if len(b) != 1 || b[0] != 1 {
+		t.Fatalf("after reset belief %v, want [1]", b)
+	}
+}
+
+func TestBeliefClampsActivation(t *testing.T) {
+	d := mustWeibull(t, 8, 2)
+	f := NewBeliefFilter(d)
+	f.AdvanceNoCapture(-3) // treated as 0
+	f.AdvanceNoCapture(7)  // treated as 1
+	if m := f.TotalMass(); math.Abs(m-1) > 1e-9 {
+		t.Fatalf("mass %v after clamped updates", m)
+	}
+}
+
+// TestBeliefMatchesMonteCarlo simulates the true hidden process under a
+// mixed activation pattern and compares empirical conditional event
+// frequencies with the filter's β̂_i sequence.
+func TestBeliefMatchesMonteCarlo(t *testing.T) {
+	d := mustEmpirical(t, []float64{0.15, 0.35, 0.3, 0.2})
+	pattern := []float64{0, 1, 0.5, 1, 0, 0, 1, 1} // c_i for f-states 1..8
+
+	// Analytic hazards along the no-capture path.
+	f := NewBeliefFilter(d)
+	want := make([]float64, len(pattern))
+	for i, c := range pattern {
+		want[i] = f.EventProb()
+		f.AdvanceNoCapture(c)
+	}
+
+	// Monte Carlo: run the hidden renewal chain; at each f-state apply
+	// the pattern; record event occurrence frequencies conditioned on
+	// reaching the state without a capture.
+	src := rng.New(99, 3)
+	occur := make([]int, len(pattern))
+	visits := make([]int, len(pattern))
+	const episodes = 400000
+	for ep := 0; ep < episodes; ep++ {
+		age := 1
+		for i := 0; i < len(pattern); i++ {
+			visits[i]++
+			event := src.Bernoulli(d.Hazard(age))
+			active := src.Bernoulli(pattern[i])
+			if event {
+				occur[i]++
+				age = 1
+				if active {
+					break // captured: episode renews
+				}
+			} else {
+				age++
+			}
+		}
+	}
+	for i := range pattern {
+		if visits[i] < 1000 {
+			continue
+		}
+		got := float64(occur[i]) / float64(visits[i])
+		sigma := math.Sqrt(want[i]*(1-want[i])/float64(visits[i])) + 1e-9
+		if math.Abs(got-want[i]) > 6*sigma {
+			t.Errorf("f-state %d: MC hazard %v vs filter %v (±%v)", i+1, got, want[i], 6*sigma)
+		}
+	}
+}
+
+func BenchmarkBeliefAdvance(b *testing.B) {
+	d := mustWeibull(b, 40, 3)
+	f := NewBeliefFilter(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.AdvanceNoCapture(0.3)
+		if i%1000 == 999 {
+			f.Reset()
+		}
+	}
+}

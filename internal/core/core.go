@@ -1,0 +1,62 @@
+// Package core implements the paper's contribution: optimal and heuristic
+// activation policies for event capture by rechargeable sensors.
+//
+//   - GreedyFI: the full-information optimal policy of Theorem 1 (greedy
+//     water-filling over conditional hazards), generalized to arbitrary
+//     hazard orderings per Remark 1.
+//   - LPFI: the same optimum obtained by solving the linear program
+//     (7)–(8) directly with a simplex solver — an independent check.
+//   - Clustering: the partial-information heuristic π'_PI of Section
+//     IV-B2 (cooling / hot / recovery regions) with the truncated-DP
+//     region optimizer and exact analytic evaluation on the f-chain.
+//   - BeliefFilter: the exact Bayes filter over the hidden renewal age
+//     that realizes Appendix B's hazards in slotted time.
+//   - EBCW: a faithful reconstruction of the last-observation policy
+//     class of Jaggi et al. [6], optimally tuned within its class, for the
+//     Fig. 5 comparison.
+//   - BeliefThreshold: the paper's proposed refinement path toward the
+//     exact POMDP optimum (closing remark of Section IV-B2).
+//
+// All analytic quantities are computed under the paper's "energy
+// assumption" (battery never empty); the sim package quantifies the gap
+// for finite battery capacity K, which vanishes as K grows (Remark 2).
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params holds the sensor's energy parameters: δ1 is the per-slot sensing
+// cost when active, δ2 the additional cost of capturing an event
+// (δ2 >= δ1 in the paper; we only require both nonnegative and not both
+// zero).
+type Params struct {
+	Delta1 float64
+	Delta2 float64
+}
+
+// DefaultParams returns the paper's simulation setting δ1 = 1, δ2 = 6.
+func DefaultParams() Params { return Params{Delta1: 1, Delta2: 6} }
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Delta1 < 0 || p.Delta2 < 0 || math.IsNaN(p.Delta1) || math.IsNaN(p.Delta2) {
+		return fmt.Errorf("core: energy costs must be nonnegative, got δ1=%g δ2=%g", p.Delta1, p.Delta2)
+	}
+	if p.Delta1 == 0 && p.Delta2 == 0 {
+		return fmt.Errorf("core: at least one of δ1, δ2 must be positive")
+	}
+	return nil
+}
+
+// ActivationCost returns δ1 + δ2, the energy a sensor must hold before it
+// takes an activation decision (Section III-A).
+func (p Params) ActivationCost() float64 { return p.Delta1 + p.Delta2 }
+
+// SaturationRate returns δ1 + δ2/μ: the recharge rate above which the
+// sensor can afford to be active in every slot (the point where all
+// activation vectors saturate at 1, Section IV-A2).
+func (p Params) SaturationRate(mu float64) float64 {
+	return p.Delta1 + p.Delta2/mu
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"eventcap/internal/numeric"
+)
+
+// EBCWPolicy is the reconstruction of the activation policy class of
+// Jaggi, Kar and Krishnamurthy [6] that the paper compares against in
+// Fig. 5 (π_EBCW). Their model assumes the events follow a two-state
+// Markov chain (a = P(event | event last slot), b = P(idle | idle last
+// slot)) and the sensor decides "based on whether an event occurred in
+// the last time slot or not": the activation probability depends only on
+// the sensor's LAST OBSERVATION, not on how long ago it was made.
+//
+//	PYes — activation probability while the last observation was an event
+//	PNo  — activation probability while it was a no-event
+//
+// The class cannot express "sleep exactly k slots, then wake", which is
+// what the renewal-aware clustering policy exploits; for a, b > 0.5 (the
+// regime [6] assumes) the optimum within this class matches the
+// clustering policy, and outside it the gap of Fig. 5 opens.
+type EBCWPolicy struct {
+	A, B       float64 // event-chain parameters
+	PYes, PNo  float64 // activation probabilities by last observation
+	CaptureU   float64 // analytic capture probability at optimum
+	EnergyRate float64 // analytic energy use per slot
+}
+
+// ebcwEval is the exact renewal-reward evaluation of a (pYes, pNo) pair.
+//
+// Observation epochs form an embedded two-state chain. After an
+// observation with outcome v0 ∈ {0, 1}, the sensor activates each slot
+// with constant probability c = c(v0), so the gap G to the next
+// observation is Geometric(c) and the k-step Markov transition gives
+//
+//	P(next observation = 1 | v0) = π + (v0 − π)·cλ/(1 − (1−c)λ)
+//
+// with λ = a + b − 1 and π = (1−b)/(2−a−b). Captures per cycle equal the
+// probability the observation is an event; the cycle length is 1/c.
+func ebcwEval(a, b, pYes, pNo float64, p Params) (captureRate, energyRate float64) {
+	lambda := a + b - 1
+	pi := (1 - b) / (2 - a - b)
+	const floor = 1e-12
+	cOf := [2]float64{math.Max(pNo, floor), math.Max(pYes, floor)}
+
+	// q[v0] = P(next observation is an event | last observation v0).
+	var q [2]float64
+	for v0 := 0; v0 <= 1; v0++ {
+		c := cOf[v0]
+		q[v0] = pi + (float64(v0)-pi)*c*lambda/(1-(1-c)*lambda)
+	}
+	// Stationary distribution of the embedded observation chain.
+	// sigma1 = q0 / (1 − q1 + q0).
+	denom := 1 - q[1] + q[0]
+	var sigma1 float64
+	if denom <= floor {
+		sigma1 = 1 // q1 ≈ 1 and q0 ≈ 0: observations stay events
+	} else {
+		sigma1 = q[0] / denom
+	}
+	sigma0 := 1 - sigma1
+
+	expCycle := sigma0/cOf[0] + sigma1/cOf[1]
+	capturesPerCycle := sigma1 // by stationarity Σ σ(v0) q(v0) = σ1
+	energyPerCycle := p.Delta1 + p.Delta2*sigma1
+
+	return capturesPerCycle / expCycle, energyPerCycle / expCycle
+}
+
+// OptimizeEBCW finds the best (PYes, PNo) within the last-observation
+// class for Markov events (a, b) at recharge rate e: it scans PYes on a
+// fine grid and, for each, picks the largest PNo that keeps the energy
+// rate within e (the energy rate is nondecreasing in both probabilities).
+// CaptureU is normalized by the event rate (1−b)/(2−a−b) so it is a
+// capture probability comparable to the clustering policy's U.
+//
+// This is the strongest member of the class — stronger than the policy
+// of [6] itself, which assumes a, b > 0.5 and therefore always activates
+// while the last observation was an event. Use OptimizeEBCWFaithful for
+// that original form (the comparison the paper's Fig. 5 makes).
+func OptimizeEBCW(a, b, e float64, p Params) (*EBCWPolicy, error) {
+	return optimizeEBCW(a, b, e, p, false)
+}
+
+// OptimizeEBCWFaithful reconstructs [6]'s policy as designed: activation
+// is certain while the last observation was an event (their bursty
+// a, b > 0.5 regime makes that optimal), and only the idle-side
+// probability PNo is calibrated for energy balance. Off that regime the
+// fixed PYes = 1 wastes energy on unlikely repeats — the gap Fig. 5
+// shows.
+func OptimizeEBCWFaithful(a, b, e float64, p Params) (*EBCWPolicy, error) {
+	return optimizeEBCW(a, b, e, p, true)
+}
+
+func optimizeEBCW(a, b, e float64, p Params, fixYes bool) (*EBCWPolicy, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !(a > 0) || a > 1 || b < 0 || b >= 1 {
+		return nil, fmt.Errorf("core: EBCW needs a in (0,1] and b in [0,1), got (%g, %g)", a, b)
+	}
+	if e < 0 || math.IsNaN(e) {
+		return nil, fmt.Errorf("core: recharge rate must be >= 0, got %g", e)
+	}
+	eventRate := (1 - b) / (2 - a - b)
+
+	best := &EBCWPolicy{A: a, B: b, CaptureU: -1}
+	const grid = 200
+	for i := 0; i <= grid; i++ {
+		pYes := float64(i) / grid
+		if fixYes {
+			if i < grid {
+				continue
+			}
+			pYes = 1
+		}
+		// Largest feasible pNo by bisection (energy is monotone in pNo).
+		cost := func(pNo float64) float64 {
+			_, eRate := ebcwEval(a, b, pYes, pNo, p)
+			return eRate
+		}
+		pNo, feasible := numeric.MaximizeMonotoneBudget(cost, e*(1+1e-9)+1e-12, 1e-9)
+		if !feasible {
+			continue
+		}
+		capRate, eRate := ebcwEval(a, b, pYes, pNo, p)
+		u := capRate / eventRate
+		if u > best.CaptureU {
+			best.PYes, best.PNo = pYes, pNo
+			best.CaptureU = u
+			best.EnergyRate = eRate
+		}
+	}
+	if best.CaptureU < 0 {
+		if fixYes {
+			// PYes = 1 alone can exceed a tiny budget; [6] would then
+			// shed load on the event side too. Fall back to the free
+			// optimum, which subsumes that behaviour.
+			return optimizeEBCW(a, b, e, p, false)
+		}
+		// Even (0, 0) infeasible cannot happen (zero cost), so this is
+		// unreachable; keep a defensive error.
+		return nil, fmt.Errorf("core: no feasible EBCW policy at e=%g", e)
+	}
+	if best.CaptureU > 1 {
+		best.CaptureU = 1
+	}
+	return best, nil
+}

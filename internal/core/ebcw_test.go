@@ -1,0 +1,247 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"eventcap/internal/dist"
+	"eventcap/internal/rng"
+)
+
+// TestEBCWEvalMatchesMonteCarlo validates the renewal-reward evaluation
+// of a (pYes, pNo) policy against a direct simulation of the two-state
+// Markov event chain.
+func TestEBCWEvalMatchesMonteCarlo(t *testing.T) {
+	p := DefaultParams()
+	src := rng.New(55, 0)
+	cases := []struct{ a, b, pYes, pNo float64 }{
+		{0.7, 0.6, 1, 0.2},
+		{0.3, 0.2, 0.5, 0.5},
+		{0.9, 0.7, 1, 0.05},
+		{0.2, 0.7, 0.3, 0.8},
+	}
+	for _, tc := range cases {
+		wantCap, wantEnergy := ebcwEval(tc.a, tc.b, tc.pYes, tc.pNo, p)
+
+		const T = 2000000
+		event := true // start right after an event (observation = event)
+		lastObs := true
+		var captures, activations, events int64
+		var energy float64
+		for slot := 0; slot < T; slot++ {
+			// Event process evolves first (Markov on the previous slot).
+			if event {
+				event = src.Bernoulli(tc.a)
+			} else {
+				event = src.Bernoulli(1 - tc.b)
+			}
+			if event {
+				events++
+			}
+			c := tc.pNo
+			if lastObs {
+				c = tc.pYes
+			}
+			if src.Bernoulli(c) {
+				activations++
+				energy += p.Delta1
+				lastObs = event
+				if event {
+					captures++
+					energy += p.Delta2
+				}
+			}
+		}
+		gotCap := float64(captures) / T
+		gotEnergy := energy / T
+		if math.Abs(gotCap-wantCap) > 3e-3 {
+			t.Errorf("a=%v b=%v pY=%v pN=%v: capture rate MC %v vs analytic %v",
+				tc.a, tc.b, tc.pYes, tc.pNo, gotCap, wantCap)
+		}
+		if math.Abs(gotEnergy-wantEnergy) > 2e-2 {
+			t.Errorf("a=%v b=%v pY=%v pN=%v: energy rate MC %v vs analytic %v",
+				tc.a, tc.b, tc.pYes, tc.pNo, gotEnergy, wantEnergy)
+		}
+		_ = events
+	}
+}
+
+func TestOptimizeEBCWFeasible(t *testing.T) {
+	p := DefaultParams()
+	for _, tc := range []struct{ a, b, e float64 }{
+		{0.7, 0.6, 1.0}, {0.3, 0.2, 0.5}, {0.9, 0.2, 0.8}, {0.2, 0.7, 0.3},
+	} {
+		pol, err := OptimizeEBCW(tc.a, tc.b, tc.e, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pol.EnergyRate > tc.e*(1+1e-6)+1e-9 {
+			t.Errorf("a=%v b=%v: energy %v exceeds e=%v", tc.a, tc.b, pol.EnergyRate, tc.e)
+		}
+		if pol.CaptureU < 0 || pol.CaptureU > 1 {
+			t.Errorf("a=%v b=%v: U=%v out of range", tc.a, tc.b, pol.CaptureU)
+		}
+		if pol.PYes < 0 || pol.PYes > 1 || pol.PNo < 0 || pol.PNo > 1 {
+			t.Errorf("a=%v b=%v: probabilities out of range: %+v", tc.a, tc.b, pol)
+		}
+	}
+}
+
+// TestEBCWPositiveCorrelationPrefersYes: with a, b > 0.5 events cluster,
+// so the optimal last-observation policy activates after seeing an event
+// at least as eagerly as after seeing none.
+func TestEBCWPositiveCorrelationPrefersYes(t *testing.T) {
+	pol, err := OptimizeEBCW(0.8, 0.7, 0.6, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.PYes < pol.PNo-1e-6 {
+		t.Fatalf("positively correlated events but PYes=%v < PNo=%v", pol.PYes, pol.PNo)
+	}
+}
+
+// TestClusteringBeatsEBCWOffRegime is the Fig. 5 shape: for Markov chains
+// outside the a, b > 0.5 regime of [6], the renewal-aware clustering
+// policy strictly outperforms the best last-observation policy, while for
+// a, b > 0.5 the two agree closely.
+func TestClusteringBeatsEBCWOffRegime(t *testing.T) {
+	p := DefaultParams()
+	e := 1.0 // Bernoulli q=0.5, c=2 in the paper's Fig. 5
+
+	check := func(a, b float64) (clusterU, ebcwU float64) {
+		t.Helper()
+		mr, err := dist.NewMarkovRenewal(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := OptimizeClustering(mr, e, p, ClusteringOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, err := OptimizeEBCW(a, b, e, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl.CaptureProb, eb.CaptureU
+	}
+
+	// Off-regime (paper Fig. 5a): b = 0.2, small a. Our EBCW is tuned
+	// optimally within its class, so the gap is smaller than the paper's
+	// but must still be strictly positive.
+	clU, ebU := check(0.2, 0.2)
+	if clU < ebU+0.005 {
+		t.Errorf("a=b=0.2: clustering %v should beat EBCW %v", clU, ebU)
+	}
+	// In-regime (paper Fig. 5b): a, b > 0.5 — near parity.
+	clU, ebU = check(0.8, 0.7)
+	if math.Abs(clU-ebU) > 0.08 {
+		t.Errorf("a=0.8 b=0.7: clustering %v and EBCW %v should agree closely", clU, ebU)
+	}
+	if ebU > clU+0.02 {
+		t.Errorf("a=0.8 b=0.7: EBCW %v should not clearly beat clustering %v", ebU, clU)
+	}
+}
+
+func TestOptimizeEBCWErrors(t *testing.T) {
+	p := DefaultParams()
+	if _, err := OptimizeEBCW(0, 0.5, 1, p); err == nil {
+		t.Fatal("a=0 accepted")
+	}
+	if _, err := OptimizeEBCW(0.5, 1, 1, p); err == nil {
+		t.Fatal("b=1 accepted")
+	}
+	if _, err := OptimizeEBCW(0.5, 0.5, -1, p); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := OptimizeEBCW(0.5, 0.5, 1, Params{}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestPeriodicCalibration(t *testing.T) {
+	d := mustWeibull(t, 40, 3)
+	p := DefaultParams()
+	theta2, err := PeriodicTheta2(3, 0.5, d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3*1/0.5 + 3*6/(0.5*d.Mean())
+	if math.Abs(theta2-want) > 1e-9 {
+		t.Fatalf("θ2 = %v, want %v", theta2, want)
+	}
+	// Sanity of the energy argument: per-period energy argument holds at the calibrated rate.
+	if u := PeriodicU(3, theta2); u <= 0 || u >= 1 {
+		t.Fatalf("periodic U = %v out of (0,1)", u)
+	}
+	// Above saturation θ2 clamps to θ1 (always on).
+	theta2, err = PeriodicTheta2(3, 100, d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if theta2 != 3 || PeriodicU(3, theta2) != 1 {
+		t.Fatalf("above saturation: θ2=%v U=%v", theta2, PeriodicU(3, theta2))
+	}
+}
+
+func TestPeriodicCalibrationErrors(t *testing.T) {
+	d := mustWeibull(t, 40, 3)
+	p := DefaultParams()
+	if _, err := PeriodicTheta2(0, 0.5, d, p); err == nil {
+		t.Fatal("θ1=0 accepted")
+	}
+	if _, err := PeriodicTheta2(3, 0, d, p); err == nil {
+		t.Fatal("e=0 accepted")
+	}
+	if _, err := PeriodicTheta2(3, 0.5, d, Params{}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestAggressiveU(t *testing.T) {
+	d := mustWeibull(t, 40, 3)
+	p := DefaultParams()
+	sat := p.SaturationRate(d.Mean())
+	if got := AggressiveU(d, sat/2, p); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("half saturation should give U=0.5, got %v", got)
+	}
+	if got := AggressiveU(d, 2*sat, p); got != 1 {
+		t.Fatalf("above saturation U=%v, want 1", got)
+	}
+	if got := AggressiveU(d, 0, p); got != 0 {
+		t.Fatalf("zero rate U=%v, want 0", got)
+	}
+}
+
+func TestOptimizeEBCWFaithful(t *testing.T) {
+	p := DefaultParams()
+	// In-regime: the faithful policy (PYes = 1) is also the free optimum.
+	free, err := OptimizeEBCW(0.8, 0.7, 1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faithful, err := OptimizeEBCWFaithful(0.8, 0.7, 1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faithful.PYes != 1 {
+		t.Fatalf("faithful PYes = %v, want 1", faithful.PYes)
+	}
+	if faithful.CaptureU > free.CaptureU+1e-9 {
+		t.Fatalf("constrained policy %v beats free optimum %v", faithful.CaptureU, free.CaptureU)
+	}
+	if math.Abs(faithful.CaptureU-free.CaptureU) > 0.05 {
+		t.Fatalf("in-regime faithful %v should be near free %v", faithful.CaptureU, free.CaptureU)
+	}
+	// Off-regime: fixing PYes = 1 hurts.
+	freeOff, err := OptimizeEBCW(0.1, 0.2, 0.6, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faithfulOff, err := OptimizeEBCWFaithful(0.1, 0.2, 0.6, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faithfulOff.CaptureU > freeOff.CaptureU+1e-9 {
+		t.Fatalf("constrained off-regime %v beats free %v", faithfulOff.CaptureU, freeOff.CaptureU)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"eventcap/internal/dist"
+)
+
+// GapEstimator learns an inter-arrival distribution from observed event
+// gaps. Under full information every gap is observed, so the empirical
+// histogram is a consistent estimator of the true PMF; the paper assumes
+// the distribution is known a priori, and this estimator (together with
+// sim.AdaptiveGreedyFI) extends the system to the unknown-distribution
+// case by plugging the estimate into Theorem 1.
+//
+// Laplace smoothing (+ε per cell up to the largest observed gap) keeps
+// the hazards strictly positive so early policies cannot freeze on an
+// impossible state.
+type GapEstimator struct {
+	counts  []float64
+	seen    int
+	maxGap  int
+	largest int
+	epsilon float64
+}
+
+// NewGapEstimator creates an estimator for gaps up to maxGap slots
+// (longer observations are clamped, which only fattens the last cell).
+func NewGapEstimator(maxGap int) (*GapEstimator, error) {
+	if maxGap < 1 {
+		return nil, fmt.Errorf("core: gap estimator needs maxGap >= 1, got %d", maxGap)
+	}
+	return &GapEstimator{
+		counts:  make([]float64, maxGap),
+		maxGap:  maxGap,
+		epsilon: 0.5,
+	}, nil
+}
+
+// Observe records one inter-event gap in slots (>= 1; smaller values are
+// ignored).
+func (g *GapEstimator) Observe(gap int) {
+	if gap < 1 {
+		return
+	}
+	if gap > g.maxGap {
+		gap = g.maxGap
+	}
+	g.counts[gap-1]++
+	g.seen++
+	if gap > g.largest {
+		g.largest = gap
+	}
+}
+
+// Count returns the number of observed gaps.
+func (g *GapEstimator) Count() int { return g.seen }
+
+// Distribution returns the smoothed empirical distribution of the
+// observations so far. It fails until at least one gap was observed.
+func (g *GapEstimator) Distribution() (*dist.Empirical, error) {
+	if g.seen == 0 {
+		return nil, fmt.Errorf("core: no gaps observed yet")
+	}
+	// Support: slightly beyond the largest observation, so the policy
+	// keeps a little probability on "longer than anything seen".
+	support := g.largest + 1 + g.largest/8
+	if support > g.maxGap {
+		support = g.maxGap
+	}
+	weights := make([]float64, support)
+	for k := 0; k < support; k++ {
+		weights[k] = g.counts[k] + g.epsilon
+	}
+	return dist.NewEmpirical(weights)
+}

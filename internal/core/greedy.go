@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"eventcap/internal/dist"
+)
+
+// Truncation parameters for policy computations. Sums over event states
+// stop once the survival 1−F(i) falls below DefaultEpsTail or the state
+// index reaches DefaultMaxHorizon; for all distributions in the paper the
+// residual mass is below 1e-9 either way.
+const (
+	DefaultEpsTail    = 1e-12
+	DefaultMaxHorizon = 1 << 18
+)
+
+// FIResult is a computed full-information policy with its analytic
+// performance under the energy assumption.
+type FIResult struct {
+	// Policy is the activation vector π*_FI(e) = (c_1, c_2, ...).
+	Policy Vector
+	// CaptureProb is U(π*_FI(e)) = Σ α_i c_i — the asymptotic (K → ∞)
+	// event capture probability (Theorem 1).
+	CaptureProb float64
+	// EnergyRate is the policy's average energy use per slot; equal to e
+	// unless the policy saturated (every c_i = 1).
+	EnergyRate float64
+	// Budget is e·μ, the per-cycle energy allowance of constraint (8).
+	Budget float64
+	// Horizon is the truncation length used.
+	Horizon int
+	// Saturated reports e >= δ1 + δ2/μ, where the sensor can afford to
+	// always activate and capture probability 1.
+	Saturated bool
+}
+
+// effectiveHorizon returns the truncation length for d.
+func effectiveHorizon(d dist.Interarrival) int {
+	lo, hi := 1, DefaultMaxHorizon
+	if 1-d.CDF(hi) >= DefaultEpsTail {
+		return hi
+	}
+	// Binary search the smallest i with survival below the target.
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if 1-d.CDF(mid) < DefaultEpsTail {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// GreedyFI computes the optimal full-information activation policy of
+// Theorem 1 for recharge rate e: allocate the per-cycle energy budget eμ
+// to event states in decreasing order of conditional hazard β_i (Remark 1
+// covers non-monotone hazards by sorting), filling each chosen state's
+// c_i to 1 and splitting the boundary state fractionally.
+func GreedyFI(d dist.Interarrival, e float64, p Params) (*FIResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if e < 0 || math.IsNaN(e) {
+		return nil, fmt.Errorf("core: recharge rate must be >= 0, got %g", e)
+	}
+	mu := d.Mean()
+	if !(mu > 0) {
+		return nil, fmt.Errorf("core: distribution %s has nonpositive mean %g", d.Name(), mu)
+	}
+	budget := e * mu
+
+	if e >= p.SaturationRate(mu) {
+		return &FIResult{
+			Policy:      Vector{Tail: 1},
+			CaptureProb: 1,
+			EnergyRate:  p.SaturationRate(mu),
+			Budget:      budget,
+			Saturated:   true,
+		}, nil
+	}
+
+	horizon := effectiveHorizon(d)
+	type slot struct {
+		idx    int
+		hazard float64
+		alpha  float64
+		xi     float64
+	}
+	slots := make([]slot, 0, horizon)
+	for i := 1; i <= horizon; i++ {
+		surv := 1 - d.CDF(i-1)
+		if surv <= 0 {
+			break
+		}
+		alpha := d.PMF(i)
+		xi := p.Delta1*surv + p.Delta2*alpha
+		if xi <= 0 {
+			continue
+		}
+		slots = append(slots, slot{idx: i, hazard: d.Hazard(i), alpha: alpha, xi: xi})
+	}
+	// Remark 1: order states by decreasing hazard. β_i ordering equals
+	// the knapsack density ordering α_i/ξ_i = β_i/(δ1 + δ2 β_i).
+	sort.SliceStable(slots, func(a, b int) bool {
+		if slots[a].hazard != slots[b].hazard {
+			return slots[a].hazard > slots[b].hazard
+		}
+		return slots[a].idx < slots[b].idx
+	})
+
+	prefix := make([]float64, horizon)
+	remaining := budget
+	for _, s := range slots {
+		if remaining <= 0 {
+			break
+		}
+		if remaining >= s.xi {
+			prefix[s.idx-1] = 1
+			remaining -= s.xi
+		} else {
+			prefix[s.idx-1] = remaining / s.xi
+			remaining = 0
+		}
+	}
+
+	v := Vector{Prefix: prefix}
+	// If the whole tabulated support filled (possible when e is barely
+	// below saturation and truncation shaved the far tail), extend the
+	// always-on suffix to the untabulated tail.
+	full := true
+	for _, c := range prefix {
+		if c != 1 {
+			full = false
+			break
+		}
+	}
+	if full {
+		v.Tail = 1
+	}
+	v = v.trimmed()
+
+	return &FIResult{
+		Policy:      v,
+		CaptureProb: v.CaptureProbFI(d),
+		EnergyRate:  v.EnergyRateFI(d, p),
+		Budget:      budget,
+		Horizon:     horizon,
+	}, nil
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"eventcap/internal/dist"
+	"eventcap/internal/rng"
+)
+
+func mustWeibull(t testing.TB, scale, shape float64) *dist.Weibull {
+	t.Helper()
+	w, err := dist.NewWeibull(scale, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func mustPareto(t testing.TB, alpha, xm float64) *dist.Pareto {
+	t.Helper()
+	p, err := dist.NewPareto(alpha, xm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustEmpirical(t testing.TB, w []float64) *dist.Empirical {
+	t.Helper()
+	e, err := dist.NewEmpirical(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func randomEmpirical(src *rng.Source, maxLen int) []float64 {
+	n := 2 + src.Intn(maxLen-1)
+	w := make([]float64, n)
+	for i := range w {
+		if src.Bernoulli(0.3) {
+			continue // sprinkle zero-mass slots
+		}
+		w[i] = src.Float64() + 0.01
+	}
+	w[src.Intn(n)] += 0.5
+	return w
+}
+
+// TestTheorem1TwoSlotExample reproduces the paper's Section IV-A2
+// illustration: β1 = 0.6, β2 = 1 (α = (0.6, 0.4)). With energy for the
+// cheaper slot only, all of it goes to slot 2 (100% efficiency); surplus
+// then flows to slot 1 (60% efficiency).
+func TestTheorem1TwoSlotExample(t *testing.T) {
+	d := mustEmpirical(t, []float64{0.6, 0.4})
+	p := Params{Delta1: 1, Delta2: 0} // the example counts activations only
+	mu := d.Mean()                    // 1.4
+
+	// ξ1 = 1, ξ2 = 1−F(1) = 0.4. Budget exactly ξ2: all to slot 2.
+	e := 0.4 / mu
+	res, err := GreedyFI(d, e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Policy.Prefix) < 2 {
+		t.Fatalf("policy too short: %+v", res.Policy)
+	}
+	if math.Abs(res.Policy.At(2)-1) > 1e-9 || math.Abs(res.Policy.At(1)) > 1e-9 {
+		t.Fatalf("want (0, 1), got (%v, %v)", res.Policy.At(1), res.Policy.At(2))
+	}
+	if math.Abs(res.CaptureProb-0.4) > 1e-12 {
+		t.Fatalf("U = %v, want 0.4", res.CaptureProb)
+	}
+
+	// Budget ξ2 + ξ1/2: slot 2 full, slot 1 at one half.
+	e = (0.4 + 0.5) / mu
+	res, err = GreedyFI(d, e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Policy.At(2)-1) > 1e-9 || math.Abs(res.Policy.At(1)-0.5) > 1e-9 {
+		t.Fatalf("want (0.5, 1), got (%v, %v)", res.Policy.At(1), res.Policy.At(2))
+	}
+	if want := 0.4 + 0.5*0.6; math.Abs(res.CaptureProb-want) > 1e-12 {
+		t.Fatalf("U = %v, want %v", res.CaptureProb, want)
+	}
+}
+
+// TestGreedyMatchesTheorem1Formula checks the closed form of Theorem 1 on
+// a distribution with increasing hazards: π* = (0,...,0, c_{k+1}, 1, ...)
+// and U = 1 − F(k+1) + c_{k+1}·α_{k+1}.
+func TestGreedyMatchesTheorem1Formula(t *testing.T) {
+	d := mustWeibull(t, 40, 3) // increasing hazard
+	p := DefaultParams()
+	mu := d.Mean()
+	for _, e := range []float64{0.1, 0.3, 0.5, 0.8, 1.0} {
+		res, err := GreedyFI(d, e, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Find k: the last state with c = 0 before the active suffix.
+		k := 0
+		for i := 1; i <= len(res.Policy.Prefix); i++ {
+			if res.Policy.At(i) == 0 {
+				k = i
+			} else {
+				break
+			}
+		}
+		// Structure: zeros through k, fractional at k+1, ones after.
+		ck1 := res.Policy.At(k + 1)
+		for i := k + 2; i <= len(res.Policy.Prefix); i++ {
+			if res.Policy.At(i) != 1 {
+				t.Fatalf("e=%v: non-one entry %v at state %d after boundary %d", e, res.Policy.At(i), i, k+1)
+			}
+		}
+		// Budget identity: Σ ξ_i c_i = eμ.
+		if got := res.Policy.EnergyPerCycleFI(d, p); math.Abs(got-e*mu) > 1e-6 {
+			t.Fatalf("e=%v: energy per cycle %v, want %v", e, got, e*mu)
+		}
+		// Theorem's capture probability.
+		want := 1 - d.CDF(k+1) + ck1*d.PMF(k+1)
+		if math.Abs(res.CaptureProb-want) > 1e-9 {
+			t.Fatalf("e=%v: U=%v, formula %v", e, res.CaptureProb, want)
+		}
+	}
+}
+
+// TestGreedyMatchesLP is the headline consistency check: Theorem 1's
+// greedy construction equals the simplex optimum of program (7)-(8) on
+// randomized renewal processes.
+func TestGreedyMatchesLP(t *testing.T) {
+	src := rng.New(2012, 0)
+	p := DefaultParams()
+	for trial := 0; trial < 30; trial++ {
+		d := mustEmpirical(t, randomEmpirical(src, 25))
+		e := src.Float64() * p.SaturationRate(d.Mean()) * 1.1
+		greedy, err := GreedyFI(d, e, p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		lp, err := LPFI(d, e, p, 200)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(greedy.CaptureProb-lp.CaptureProb) > 1e-7 {
+			t.Fatalf("trial %d (%s, e=%v): greedy U=%v, LP U=%v",
+				trial, d.Name(), e, greedy.CaptureProb, lp.CaptureProb)
+		}
+	}
+}
+
+func TestGreedyEnergyBalanced(t *testing.T) {
+	p := DefaultParams()
+	for _, d := range []dist.Interarrival{
+		mustWeibull(t, 40, 3),
+		mustPareto(t, 2, 10),
+		mustEmpirical(t, []float64{1, 2, 3, 4, 3, 2, 1}),
+	} {
+		sat := p.SaturationRate(d.Mean())
+		for _, frac := range []float64{0.1, 0.4, 0.7, 0.95} {
+			e := frac * sat
+			res, err := GreedyFI(d, e, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(res.EnergyRate-e) > 1e-6*(1+e) {
+				t.Errorf("%s e=%v: policy energy rate %v != e", d.Name(), e, res.EnergyRate)
+			}
+			if res.CaptureProb < 0 || res.CaptureProb > 1 {
+				t.Errorf("%s e=%v: U=%v out of range", d.Name(), e, res.CaptureProb)
+			}
+		}
+	}
+}
+
+func TestGreedySaturation(t *testing.T) {
+	d := mustWeibull(t, 40, 3)
+	p := DefaultParams()
+	res, err := GreedyFI(d, p.SaturationRate(d.Mean())+0.1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated || res.CaptureProb != 1 || res.Policy.Tail != 1 {
+		t.Fatalf("saturated result wrong: %+v", res)
+	}
+}
+
+func TestGreedyZeroRate(t *testing.T) {
+	d := mustWeibull(t, 40, 3)
+	res, err := GreedyFI(d, 0, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CaptureProb != 0 {
+		t.Fatalf("U=%v at e=0, want 0", res.CaptureProb)
+	}
+}
+
+func TestGreedyMonotoneInRate(t *testing.T) {
+	d := mustPareto(t, 2, 10)
+	p := DefaultParams()
+	prev := -1.0
+	for e := 0.05; e < 1.5; e += 0.05 {
+		res, err := GreedyFI(d, e, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CaptureProb < prev-1e-9 {
+			t.Fatalf("U decreased at e=%v: %v -> %v", e, prev, res.CaptureProb)
+		}
+		prev = res.CaptureProb
+	}
+}
+
+// TestGreedyParetoHotRegion: with decreasing hazards past the minimum,
+// the greedy policy activates a contiguous block starting right after the
+// Pareto minimum (slot 11 for P(2,10)).
+func TestGreedyParetoHotRegion(t *testing.T) {
+	d := mustPareto(t, 2, 10)
+	res, err := GreedyFI(d, 0.3, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if res.Policy.At(i) != 0 {
+			t.Fatalf("activation %v below the Pareto minimum at state %d", res.Policy.At(i), i)
+		}
+	}
+	if res.Policy.At(11) != 1 {
+		t.Fatalf("state 11 (highest hazard) not fully active: %v", res.Policy.At(11))
+	}
+	// Contiguous: after the first non-one entry past 11, all zeros.
+	seenPartial := false
+	for i := 11; i <= len(res.Policy.Prefix); i++ {
+		c := res.Policy.At(i)
+		switch {
+		case seenPartial && c != 0:
+			t.Fatalf("non-contiguous allocation: c=%v at state %d after boundary", c, i)
+		case c != 1 && c != 0:
+			seenPartial = true
+		case c == 0:
+			seenPartial = true
+		}
+	}
+}
+
+func TestGreedyErrors(t *testing.T) {
+	d := mustWeibull(t, 40, 3)
+	if _, err := GreedyFI(d, -1, DefaultParams()); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := GreedyFI(d, 0.5, Params{Delta1: -1, Delta2: 1}); err == nil {
+		t.Fatal("negative δ1 accepted")
+	}
+	if _, err := GreedyFI(d, 0.5, Params{}); err == nil {
+		t.Fatal("all-zero costs accepted")
+	}
+}
+
+func TestLPFIErrors(t *testing.T) {
+	d := mustWeibull(t, 40, 3)
+	if _, err := LPFI(d, -1, DefaultParams(), 100); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := LPFI(d, 0.5, DefaultParams(), 0); err == nil {
+		t.Fatal("zero states accepted")
+	}
+}
+
+func BenchmarkGreedyFIWeibull(b *testing.B) {
+	d := mustWeibull(b, 40, 3)
+	p := DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GreedyFI(d, 0.5, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLPFIWeibull(b *testing.B) {
+	d := mustWeibull(b, 40, 3)
+	p := DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LPFI(d, 0.5, p, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"eventcap/internal/dist"
+	"eventcap/internal/mdp"
+)
+
+// LagrangianFI solves the full-information problem through the paper's
+// original lens — the constrained average-reward MDP over the h-states of
+// Figure 2 — rather than the reduced linear program. The constraint
+// (energy rate = e) is absorbed with a Lagrange multiplier λ on energy:
+//
+//	r_λ(h_i, a1) = β_i − λ·(δ1 + δ2·β_i),   r_λ(h_i, a2) = 0
+//
+// and λ is found by bisection so that the optimal policy's energy rate
+// meets e. At the boundary multiplier the optimal policy is a β-threshold
+// rule (every state strictly above the marginal hazard activates), which
+// is exactly Theorem 1's structure; the marginal state gets the
+// fractional probability that closes the balance. The result therefore
+// coincides with GreedyFI and serves as a third independent derivation
+// (greedy construction, simplex LP, and Lagrangian MDP).
+//
+// maxStates truncates the h-chain (states beyond it carry < DefaultEpsTail
+// probability for the distributions in the paper at the default horizon).
+func LagrangianFI(d dist.Interarrival, e float64, p Params, maxStates int) (*FIResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if e < 0 || math.IsNaN(e) {
+		return nil, fmt.Errorf("core: recharge rate must be >= 0, got %g", e)
+	}
+	if maxStates < 2 {
+		return nil, fmt.Errorf("core: LagrangianFI needs at least 2 states, got %d", maxStates)
+	}
+	mu := d.Mean()
+	if e >= p.SaturationRate(mu) {
+		return &FIResult{
+			Policy:      Vector{Tail: 1},
+			CaptureProb: 1,
+			EnergyRate:  p.SaturationRate(mu),
+			Budget:      e * mu,
+			Saturated:   true,
+		}, nil
+	}
+
+	horizon := effectiveHorizon(d)
+	if horizon > maxStates {
+		horizon = maxStates
+	}
+	hazards := make([]float64, horizon)
+	for i := 1; i <= horizon; i++ {
+		hazards[i-1] = d.Hazard(i)
+	}
+	// Make the truncated chain proper: the last state renews certainly.
+	hazards[horizon-1] = 1
+
+	// buildPolicy returns the λ-optimal activation vector. For the
+	// Lagrangian reward, state i activates iff its marginal value
+	// β_i − λ(δ1 + δ2 β_i) > 0, i.e. β_i > λδ1/(1 − λδ2): activation
+	// decisions decouple across states because both reward and cost
+	// accrue per visit regardless of the transition taken (full
+	// information makes the dynamics action-independent).
+	buildPolicy := func(lambda float64) Vector {
+		prefix := make([]float64, horizon)
+		for i := range hazards {
+			if hazards[i]-lambda*(p.Delta1+p.Delta2*hazards[i]) > 0 {
+				prefix[i] = 1
+			}
+		}
+		return Vector{Prefix: prefix}
+	}
+	energyOf := func(v Vector) float64 { return v.EnergyRateFI(d, p) }
+
+	// Bisection on λ: energy is nonincreasing in λ.
+	lo, hi := 0.0, 1/p.Delta1
+	if energyOf(buildPolicy(lo)) <= e {
+		// Even λ=0 (activate everywhere useful) fits the budget.
+		v := buildPolicy(lo)
+		return &FIResult{
+			Policy:      v.trimmed(),
+			CaptureProb: v.CaptureProbFI(d),
+			EnergyRate:  energyOf(v),
+			Budget:      e * mu,
+			Horizon:     horizon,
+		}, nil
+	}
+	for iter := 0; iter < 200 && hi-lo > 1e-14; iter++ {
+		mid := (lo + hi) / 2
+		if energyOf(buildPolicy(mid)) > e {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	// Above-threshold states (λ = hi) are in; the marginal states at the
+	// boundary get a fractional probability to exhaust the budget, as in
+	// Theorem 1.
+	v := buildPolicy(hi)
+	budget := e * mu
+	spent := v.EnergyPerCycleFI(d, p)
+	remaining := budget - spent
+	if remaining > 0 {
+		// Marginal states: active under λ=lo but not under λ=hi. Fill
+		// them in decreasing-hazard order with the leftover budget.
+		vLo := buildPolicy(lo)
+		type marginal struct {
+			idx    int
+			hazard float64
+			xi     float64
+		}
+		var ms []marginal
+		for i := 1; i <= horizon; i++ {
+			if vLo.At(i) == 1 && v.At(i) == 0 {
+				surv := 1 - d.CDF(i-1)
+				ms = append(ms, marginal{idx: i, hazard: hazards[i-1], xi: p.Delta1*surv + p.Delta2*d.PMF(i)})
+			}
+		}
+		// All marginal states share (numerically) the same hazard, but
+		// sort defensively.
+		for a := range ms {
+			for b := a + 1; b < len(ms); b++ {
+				if ms[b].hazard > ms[a].hazard {
+					ms[a], ms[b] = ms[b], ms[a]
+				}
+			}
+		}
+		for _, m := range ms {
+			if remaining <= 0 {
+				break
+			}
+			c := 1.0
+			if m.xi > remaining {
+				c = remaining / m.xi
+			}
+			v.Prefix[m.idx-1] = c
+			remaining -= c * m.xi
+		}
+	}
+	return &FIResult{
+		Policy:      v.trimmed(),
+		CaptureProb: v.CaptureProbFI(d),
+		EnergyRate:  energyOf(v),
+		Budget:      budget,
+		Horizon:     horizon,
+	}, nil
+}
+
+// BuildFIMDP constructs the explicit finite MDP of the paper's Figure 2
+// (h-states, actions {active, inactive}) with the Lagrangian reward for
+// multiplier lambda, for use with the generic solvers in internal/mdp.
+// The truncated chain's final state renews with certainty. It exists so
+// tests can verify that relative value iteration / policy iteration on
+// the actual MDP reproduce the threshold structure Theorem 1 proves.
+func BuildFIMDP(d dist.Interarrival, p Params, lambda float64, states int) (*mdp.MDP, error) {
+	if states < 2 {
+		return nil, fmt.Errorf("core: BuildFIMDP needs at least 2 states, got %d", states)
+	}
+	m, err := mdp.New(states, 2)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i <= states; i++ {
+		h := d.Hazard(i)
+		if i == states {
+			h = 1 // renew certainly at the truncation boundary
+		}
+		next := i // 0-based index of h_{i+1}
+		if next >= states {
+			next = states - 1
+		}
+		outs := []mdp.Transition{{Next: 0, Prob: h}}
+		if h < 1 {
+			outs = append(outs, mdp.Transition{Next: next, Prob: 1 - h})
+		}
+		// Action 0: inactive, no reward. Action 1: active.
+		if err := m.SetTransition(i-1, 0, outs, 0); err != nil {
+			return nil, err
+		}
+		reward := h - lambda*(p.Delta1+p.Delta2*h)
+		if err := m.SetTransition(i-1, 1, outs, reward); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"eventcap/internal/rng"
+)
+
+// TestLagrangianMatchesGreedy: the third derivation of the FI optimum
+// (Lagrangian decomposition of the constrained MDP) agrees with Theorem
+// 1's greedy construction on the paper's workloads and on randomized
+// empirical ones.
+func TestLagrangianMatchesGreedy(t *testing.T) {
+	p := DefaultParams()
+	w := mustWeibull(t, 40, 3)
+	for _, e := range []float64{0.1, 0.3, 0.5, 0.8} {
+		g, err := GreedyFI(w, e, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := LagrangianFI(w, e, p, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(g.CaptureProb-l.CaptureProb) > 1e-6 {
+			t.Errorf("e=%v: greedy U=%v, Lagrangian U=%v", e, g.CaptureProb, l.CaptureProb)
+		}
+		if math.Abs(l.EnergyRate-e) > 1e-6 {
+			t.Errorf("e=%v: Lagrangian energy %v not balanced", e, l.EnergyRate)
+		}
+	}
+
+	src := rng.New(81, 0)
+	for trial := 0; trial < 15; trial++ {
+		d := mustEmpirical(t, randomEmpirical(src, 20))
+		e := 0.85 * src.Float64() * p.SaturationRate(d.Mean())
+		g, err := GreedyFI(d, e, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := LagrangianFI(d, e, p, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(g.CaptureProb-l.CaptureProb) > 1e-6 {
+			t.Errorf("trial %d (%s, e=%v): greedy U=%v, Lagrangian U=%v",
+				trial, d.Name(), e, g.CaptureProb, l.CaptureProb)
+		}
+	}
+}
+
+func TestLagrangianSaturated(t *testing.T) {
+	w := mustWeibull(t, 40, 3)
+	p := DefaultParams()
+	l, err := LagrangianFI(w, p.SaturationRate(w.Mean())+1, p, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Saturated || l.CaptureProb != 1 {
+		t.Fatalf("saturated result wrong: %+v", l)
+	}
+}
+
+func TestLagrangianErrors(t *testing.T) {
+	w := mustWeibull(t, 40, 3)
+	if _, err := LagrangianFI(w, -1, DefaultParams(), 100); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := LagrangianFI(w, 0.5, Params{}, 100); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	if _, err := LagrangianFI(w, 0.5, DefaultParams(), 1); err == nil {
+		t.Fatal("degenerate truncation accepted")
+	}
+	if _, err := BuildFIMDP(w, DefaultParams(), 0.1, 1); err == nil {
+		t.Fatal("degenerate MDP accepted")
+	}
+}
+
+// TestFIMDPSolversFindThreshold: solving the explicit Figure-2 MDP with
+// the generic machinery (relative value iteration AND policy iteration)
+// yields a hazard-threshold policy — the structure Theorem 1 proves.
+func TestFIMDPSolversFindThreshold(t *testing.T) {
+	d := mustEmpirical(t, []float64{0.05, 0.15, 0.2, 0.25, 0.2, 0.15})
+	p := DefaultParams()
+	const lambda = 0.06
+	m, err := BuildFIMDP(d, p, lambda, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rvi, err := m.RelativeValueIteration(1e-11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pit, err := m.PolicyIteration(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rvi.Gain-pit.Gain) > 1e-7 {
+		t.Fatalf("RVI gain %v != policy-iteration gain %v", rvi.Gain, pit.Gain)
+	}
+	// Threshold structure in the hazard.
+	hz := make([]float64, 6)
+	for i := 1; i <= 6; i++ {
+		hz[i-1] = d.Hazard(i)
+	}
+	hz[5] = 1
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if rvi.Policy[i] == 1 && hz[j] > hz[i]+1e-12 && rvi.Policy[j] == 0 {
+				t.Fatalf("non-threshold optimal policy: active at β=%v, idle at β=%v", hz[i], hz[j])
+			}
+		}
+	}
+	// The per-state activation rule must match the Lagrangian
+	// decomposition: activate iff β − λ(δ1 + δ2β) > 0.
+	for i := 0; i < 6; i++ {
+		want := 0
+		if hz[i]-lambda*(p.Delta1+p.Delta2*hz[i]) > 1e-12 {
+			want = 1
+		}
+		if rvi.Policy[i] != want {
+			t.Fatalf("state %d: MDP action %d, decomposition predicts %d", i+1, rvi.Policy[i], want)
+		}
+	}
+}

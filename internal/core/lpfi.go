@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"eventcap/internal/dist"
+	"eventcap/internal/numeric"
+)
+
+// LPFI computes the optimal full-information policy by solving the
+// paper's linear program (7)–(8) directly with a simplex solver:
+//
+//	maximize   Σ α_i c_i
+//	subject to Σ ξ_i c_i <= eμ,  0 <= c_i <= 1,
+//
+// truncated to maxStates event states. The balance (8) is stated as an
+// equality in the paper; with surplus energy the capture probability
+// cannot improve, so the inequality form has the same optimum and is
+// always feasible.
+//
+// It exists as an independent check of GreedyFI (Theorem 1 asserts the
+// greedy solution solves this LP); tests assert agreement to 1e-9. For
+// production use prefer GreedyFI, which is O(n log n) instead of simplex.
+func LPFI(d dist.Interarrival, e float64, p Params, maxStates int) (*FIResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if e < 0 || math.IsNaN(e) {
+		return nil, fmt.Errorf("core: recharge rate must be >= 0, got %g", e)
+	}
+	if maxStates < 1 {
+		return nil, fmt.Errorf("core: LPFI needs at least one state, got %d", maxStates)
+	}
+	mu := d.Mean()
+	budget := e * mu
+
+	horizon := effectiveHorizon(d)
+	if horizon > maxStates {
+		horizon = maxStates
+	}
+	alpha := make([]float64, horizon)
+	xi := make([]float64, horizon)
+	for i := 1; i <= horizon; i++ {
+		surv := 1 - d.CDF(i-1)
+		alpha[i-1] = d.PMF(i)
+		xi[i-1] = p.Delta1*surv + p.Delta2*alpha[i-1]
+	}
+
+	lp := numeric.NewLP(horizon)
+	lp.SetObjective(alpha, true)
+	lp.AddConstraint(xi, numeric.LessEq, budget)
+	unit := make([]float64, horizon)
+	for i := 0; i < horizon; i++ {
+		for j := range unit {
+			unit[j] = 0
+		}
+		unit[i] = 1
+		lp.AddConstraint(unit, numeric.LessEq, 1)
+	}
+	sol, err := lp.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("solving FI linear program: %w", err)
+	}
+
+	v := Vector{Prefix: sol.X}.trimmed()
+	if err := v.Validate(); err != nil {
+		// Clip simplex roundoff rather than fail.
+		for i, c := range v.Prefix {
+			if c < 0 {
+				v.Prefix[i] = 0
+			}
+			if c > 1 {
+				v.Prefix[i] = 1
+			}
+		}
+	}
+	return &FIResult{
+		Policy:      v,
+		CaptureProb: sol.Objective,
+		EnergyRate:  v.EnergyRateFI(d, p),
+		Budget:      budget,
+		Horizon:     horizon,
+		Saturated:   e >= p.SaturationRate(mu),
+	}, nil
+}

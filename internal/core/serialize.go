@@ -1,0 +1,78 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Serialization of computed policies, so a base station can ship them to
+// resource-constrained sensor nodes (the paper's implementation argument:
+// the clustering policy "can be implemented by a resource-constrained
+// sensor using local state only" — what actually travels to the node is
+// this compact form).
+
+// vectorJSON is the wire form of a Vector.
+type vectorJSON struct {
+	Prefix []float64 `json:"prefix,omitempty"`
+	Tail   float64   `json:"tail"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (v Vector) MarshalJSON() ([]byte, error) {
+	if err := v.Validate(); err != nil {
+		return nil, fmt.Errorf("marshaling activation vector: %w", err)
+	}
+	return json.Marshal(vectorJSON{Prefix: v.Prefix, Tail: v.Tail})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating probabilities.
+func (v *Vector) UnmarshalJSON(data []byte) error {
+	var w vectorJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("unmarshaling activation vector: %w", err)
+	}
+	out := Vector{Prefix: w.Prefix, Tail: w.Tail}
+	if err := out.Validate(); err != nil {
+		return fmt.Errorf("unmarshaling activation vector: %w", err)
+	}
+	*v = out
+	return nil
+}
+
+// clusteringJSON is the wire form of a ClusteringPolicy.
+type clusteringJSON struct {
+	N1 int     `json:"n1"`
+	N2 int     `json:"n2"`
+	N3 int     `json:"n3"`
+	C1 float64 `json:"c1"`
+	C2 float64 `json:"c2"`
+	C3 float64 `json:"c3"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (cp ClusteringPolicy) MarshalJSON() ([]byte, error) {
+	if err := cp.Validate(); err != nil {
+		return nil, fmt.Errorf("marshaling clustering policy: %w", err)
+	}
+	return json.Marshal(clusteringJSON{
+		N1: cp.N1, N2: cp.N2, N3: cp.N3,
+		C1: cp.C1, C2: cp.C2, C3: cp.C3,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating the regions.
+func (cp *ClusteringPolicy) UnmarshalJSON(data []byte) error {
+	var w clusteringJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("unmarshaling clustering policy: %w", err)
+	}
+	out := ClusteringPolicy{
+		N1: w.N1, N2: w.N2, N3: w.N3,
+		C1: w.C1, C2: w.C2, C3: w.C3,
+	}
+	if err := out.Validate(); err != nil {
+		return fmt.Errorf("unmarshaling clustering policy: %w", err)
+	}
+	*cp = out
+	return nil
+}

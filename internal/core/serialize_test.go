@@ -1,0 +1,91 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestVectorJSONRoundTrip(t *testing.T) {
+	in := Vector{Prefix: []float64{0, 0.25, 1}, Tail: 0.5}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Vector
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 6; i++ {
+		if in.At(i) != out.At(i) {
+			t.Fatalf("At(%d) changed across round trip", i)
+		}
+	}
+}
+
+func TestVectorJSONRejectsInvalid(t *testing.T) {
+	if _, err := json.Marshal(Vector{Prefix: []float64{2}}); err == nil {
+		t.Fatal("invalid vector marshaled")
+	}
+	var v Vector
+	if err := json.Unmarshal([]byte(`{"prefix":[0.5,1.5],"tail":0}`), &v); err == nil {
+		t.Fatal("invalid vector unmarshaled")
+	}
+	if err := json.Unmarshal([]byte(`{"prefix":}`), &v); err == nil {
+		t.Fatal("syntax error accepted")
+	}
+	// A failed unmarshal must not clobber the destination.
+	v = Vector{Tail: 0.7}
+	_ = json.Unmarshal([]byte(`{"prefix":[9],"tail":0}`), &v)
+	if v.Tail != 0.7 {
+		t.Fatal("failed unmarshal mutated destination")
+	}
+}
+
+func TestClusteringJSONRoundTrip(t *testing.T) {
+	in := ClusteringPolicy{N1: 3, N2: 7, N3: 20, C1: 0.5, C2: 1, C3: 0.25}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ClusteringPolicy
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if in != out {
+		t.Fatalf("round trip changed policy: %+v -> %+v", in, out)
+	}
+}
+
+func TestClusteringJSONRejectsInvalid(t *testing.T) {
+	if _, err := json.Marshal(ClusteringPolicy{N1: 5, N2: 2, N3: 9}); err == nil {
+		t.Fatal("invalid policy marshaled")
+	}
+	var cp ClusteringPolicy
+	if err := json.Unmarshal([]byte(`{"n1":1,"n2":2,"n3":2,"c1":1,"c2":1,"c3":1}`), &cp); err == nil {
+		t.Fatal("invalid regions unmarshaled")
+	}
+}
+
+// TestOptimizedPolicySurvivesWire: the policy a base station computes can
+// be shipped to a node and reproduce identical behaviour.
+func TestOptimizedPolicySurvivesWire(t *testing.T) {
+	d := mustWeibull(t, 40, 3)
+	p := DefaultParams()
+	pi, err := OptimizeClustering(d, 0.5, p, ClusteringOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(pi.Policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire ClusteringPolicy
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= pi.Policy.N3+10; i++ {
+		if wire.At(i) != pi.Policy.At(i) {
+			t.Fatalf("wire policy differs at state %d", i)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package dist
+
+import (
+	"fmt"
+
+	"eventcap/internal/numeric"
+	"eventcap/internal/rng"
+)
+
+// AliasSampler draws from an arbitrary finite PMF in O(1) time per draw
+// using Vose's alias method. Construction is O(n).
+type AliasSampler struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAliasSampler builds a sampler over outcomes 0..len(weights)-1 with
+// probability proportional to weights. Weights must be nonnegative with a
+// positive sum.
+func NewAliasSampler(weights []float64) (*AliasSampler, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("dist: alias sampler needs at least one weight")
+	}
+	total := numeric.Sum(weights)
+	if !(total > 0) {
+		return nil, fmt.Errorf("dist: alias sampler weights sum to %g", total)
+	}
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("dist: negative weight %g at index %d", w, i)
+		}
+		scaled[i] = w * float64(n) / total
+	}
+
+	s := &AliasSampler{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, p := range scaled {
+		if p < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		s.prob[l] = scaled[l]
+		s.alias[l] = g
+		scaled[g] = scaled[g] + scaled[l] - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	for _, i := range large {
+		s.prob[i] = 1
+		s.alias[i] = i
+	}
+	for _, i := range small {
+		// Only reachable through roundoff; treat as certain.
+		s.prob[i] = 1
+		s.alias[i] = i
+	}
+	return s, nil
+}
+
+// Sample draws an outcome index.
+func (s *AliasSampler) Sample(src *rng.Source) int {
+	i := src.Intn(len(s.prob))
+	if src.Float64() < s.prob[i] {
+		return i
+	}
+	return s.alias[i]
+}
+
+// Len returns the number of outcomes.
+func (s *AliasSampler) Len() int { return len(s.prob) }

@@ -1,0 +1,129 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"eventcap/internal/rng"
+)
+
+func TestAliasSamplerFrequencies(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	s, err := NewAliasSampler(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len=%d, want 4", s.Len())
+	}
+	src := rng.New(11, 0)
+	const n = 400000
+	counts := make([]int, 4)
+	for i := 0; i < n; i++ {
+		counts[s.Sample(src)]++
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / n
+		sigma := math.Sqrt(want * (1 - want) / n)
+		if math.Abs(got-want) > 6*sigma {
+			t.Errorf("outcome %d frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAliasSamplerSingleOutcome(t *testing.T) {
+	s, err := NewAliasSampler([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(1, 1)
+	for i := 0; i < 100; i++ {
+		if s.Sample(src) != 0 {
+			t.Fatal("single-outcome sampler returned nonzero")
+		}
+	}
+}
+
+func TestAliasSamplerZeroWeightNeverDrawn(t *testing.T) {
+	s, err := NewAliasSampler([]float64{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(3, 0)
+	for i := 0; i < 100000; i++ {
+		if s.Sample(src) == 1 {
+			t.Fatal("zero-weight outcome drawn")
+		}
+	}
+}
+
+func TestAliasSamplerErrors(t *testing.T) {
+	if _, err := NewAliasSampler(nil); err == nil {
+		t.Fatal("empty weights accepted")
+	}
+	if _, err := NewAliasSampler([]float64{0, 0}); err == nil {
+		t.Fatal("zero-sum weights accepted")
+	}
+	if _, err := NewAliasSampler([]float64{1, -2}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestAliasSamplerPropertyInRange(t *testing.T) {
+	src := rng.New(8, 0)
+	if err := quick.Check(func(seed uint64) bool {
+		ws := rng.New(seed, 2)
+		n := 1 + ws.Intn(30)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = ws.Float64()
+		}
+		weights[ws.Intn(n)] += 0.5 // guarantee positive sum
+		s, err := NewAliasSampler(weights)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 100; i++ {
+			if v := s.Sample(src); v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	weights := make([]float64, 200)
+	for i := range weights {
+		weights[i] = float64(i%7) + 1
+	}
+	s, err := NewAliasSampler(weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(1, 0)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.Sample(src)
+	}
+	_ = sink
+}
+
+func BenchmarkWeibullSample(b *testing.B) {
+	w, err := NewWeibull(40, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(1, 0)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += w.Sample(src)
+	}
+	_ = sink
+}

@@ -1,0 +1,96 @@
+package dist
+
+import (
+	"fmt"
+
+	"eventcap/internal/numeric"
+	"eventcap/internal/rng"
+)
+
+// Empirical is an arbitrary finite inter-arrival PMF given explicitly:
+// pmf[k] is (proportional to) P(X = k+1). It is the escape hatch for
+// measured workloads and the workhorse of the property-based tests, which
+// exercise every policy against randomized renewal processes.
+type Empirical struct {
+	alpha   []float64 // normalized; alpha[k] = P(X = k+1)
+	cdf     []float64 // cdf[k] = F(k+1)
+	mean    float64
+	sampler *AliasSampler
+	name    string
+}
+
+var _ Interarrival = (*Empirical)(nil)
+
+// NewEmpirical builds the distribution from nonnegative weights over
+// slots 1..len(weights). Weights are normalized; the sum must be positive.
+func NewEmpirical(weights []float64) (*Empirical, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("dist: empirical distribution needs at least one slot")
+	}
+	total := numeric.Sum(weights)
+	if !(total > 0) {
+		return nil, fmt.Errorf("dist: empirical weights sum to %g", total)
+	}
+	e := &Empirical{
+		alpha: make([]float64, len(weights)),
+		cdf:   make([]float64, len(weights)),
+	}
+	var running numeric.KahanSum
+	var meanSum numeric.KahanSum
+	for k, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("dist: negative weight %g at slot %d", w, k+1)
+		}
+		a := w / total
+		e.alpha[k] = a
+		running.Add(a)
+		e.cdf[k] = running.Value()
+		meanSum.Add(float64(k+1) * a)
+	}
+	e.cdf[len(e.cdf)-1] = 1 // exact by construction
+	e.mean = meanSum.Value()
+	sampler, err := NewAliasSampler(e.alpha)
+	if err != nil {
+		return nil, fmt.Errorf("building alias table: %w", err)
+	}
+	e.sampler = sampler
+	e.name = fmt.Sprintf("Empirical(n=%d)", len(weights))
+	return e, nil
+}
+
+// MaxSupport returns the largest slot with positive probability bound
+// (the table length).
+func (e *Empirical) MaxSupport() int { return len(e.alpha) }
+
+// PMF implements Interarrival.
+func (e *Empirical) PMF(i int) float64 {
+	if i < 1 || i > len(e.alpha) {
+		return 0
+	}
+	return e.alpha[i-1]
+}
+
+// CDF implements Interarrival.
+func (e *Empirical) CDF(i int) float64 {
+	if i < 1 {
+		return 0
+	}
+	if i > len(e.cdf) {
+		return 1
+	}
+	return e.cdf[i-1]
+}
+
+// Hazard implements Interarrival.
+func (e *Empirical) Hazard(i int) float64 { return hazardFromCDF(e, i) }
+
+// Mean implements Interarrival.
+func (e *Empirical) Mean() float64 { return e.mean }
+
+// Sample implements Interarrival.
+func (e *Empirical) Sample(src *rng.Source) int {
+	return e.sampler.Sample(src) + 1
+}
+
+// Name implements Interarrival.
+func (e *Empirical) Name() string { return e.name }

@@ -1,0 +1,87 @@
+package dist
+
+import (
+	"testing"
+
+	"eventcap/internal/rng"
+	"eventcap/internal/stats"
+)
+
+// TestSamplersPassChiSquare runs a goodness-of-fit test of every
+// implementation's Sample against its own PMF: the strongest sampler
+// validation in the suite (frequency tests only check cells one at a
+// time; chi-square checks the joint shape).
+func TestSamplersPassChiSquare(t *testing.T) {
+	src := rng.New(4242, 0)
+	for _, d := range allDistributions(t) {
+		// Build cells covering ~99.9% of the mass, tail pooled.
+		var support int
+		for support = 1; support < 100000 && 1-d.CDF(support) > 1e-3; support++ {
+		}
+		probs := make([]float64, support+1)
+		for i := 1; i <= support; i++ {
+			probs[i-1] = d.PMF(i)
+		}
+		probs[support] = 1 - d.CDF(support) // tail cell
+		// A point mass (Deterministic) has a single cell: chi-square is
+		// vacuous there, and the sampler is already exactness-tested.
+		atoms := 0
+		for _, p := range probs {
+			if p > 1e-9 {
+				atoms++
+			}
+		}
+		if atoms < 2 {
+			continue
+		}
+		counts := make([]int64, support+1)
+		const n = 200000
+		for k := 0; k < n; k++ {
+			x := d.Sample(src)
+			if x <= support {
+				counts[x-1]++
+			} else {
+				counts[support]++
+			}
+		}
+		stat, dof, ok, err := stats.ChiSquare(counts, probs)
+		if err != nil {
+			t.Errorf("%s: %v", d.Name(), err)
+			continue
+		}
+		if !ok {
+			t.Errorf("%s: chi-square rejects the sampler (stat %.2f, dof %d)", d.Name(), stat, dof)
+		}
+	}
+}
+
+// TestAliasSamplerPassesChiSquare applies the same test to the alias
+// method over an irregular weight vector.
+func TestAliasSamplerPassesChiSquare(t *testing.T) {
+	weights := []float64{5, 0.5, 12, 3, 0.1, 7, 1, 1, 9, 0.4}
+	s, err := NewAliasSampler(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	probs := make([]float64, len(weights))
+	for i, w := range weights {
+		probs[i] = w / total
+	}
+	counts := make([]int64, len(weights))
+	src := rng.New(777, 1)
+	const n = 300000
+	for k := 0; k < n; k++ {
+		counts[s.Sample(src)]++
+	}
+	stat, dof, ok, err := stats.ChiSquare(counts, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("alias sampler rejected (stat %.2f, dof %d)", stat, dof)
+	}
+}

@@ -1,0 +1,95 @@
+package dist
+
+import (
+	"fmt"
+	"strings"
+
+	"eventcap/internal/numeric"
+	"eventcap/internal/rng"
+)
+
+// Mixture is a convex combination of inter-arrival distributions. It
+// models multi-modal event processes (e.g. a PoI with both a fast and a
+// slow recurrence mode), which produce multiple "hot regions" and stress
+// the single-window clustering policy.
+type Mixture struct {
+	components []Interarrival
+	weights    []float64
+	sampler    *AliasSampler
+	mean       float64
+	name       string
+}
+
+var _ Interarrival = (*Mixture)(nil)
+
+// NewMixture builds a mixture of components with the given nonnegative
+// weights (normalized internally). Lengths must match and be nonzero.
+func NewMixture(components []Interarrival, weights []float64) (*Mixture, error) {
+	if len(components) == 0 {
+		return nil, fmt.Errorf("dist: mixture needs at least one component")
+	}
+	if len(components) != len(weights) {
+		return nil, fmt.Errorf("dist: mixture has %d components but %d weights", len(components), len(weights))
+	}
+	total := numeric.Sum(weights)
+	if !(total > 0) {
+		return nil, fmt.Errorf("dist: mixture weights sum to %g", total)
+	}
+	m := &Mixture{
+		components: make([]Interarrival, len(components)),
+		weights:    make([]float64, len(weights)),
+	}
+	copy(m.components, components)
+	names := make([]string, 0, len(components))
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("dist: negative mixture weight %g at index %d", w, i)
+		}
+		m.weights[i] = w / total
+		names = append(names, fmt.Sprintf("%.3g*%s", m.weights[i], components[i].Name()))
+	}
+	sampler, err := NewAliasSampler(m.weights)
+	if err != nil {
+		return nil, fmt.Errorf("building mixture alias table: %w", err)
+	}
+	m.sampler = sampler
+	var mean numeric.KahanSum
+	for i, c := range m.components {
+		mean.Add(m.weights[i] * c.Mean())
+	}
+	m.mean = mean.Value()
+	m.name = "Mixture(" + strings.Join(names, " + ") + ")"
+	return m, nil
+}
+
+// PMF implements Interarrival.
+func (m *Mixture) PMF(i int) float64 {
+	var sum float64
+	for k, c := range m.components {
+		sum += m.weights[k] * c.PMF(i)
+	}
+	return sum
+}
+
+// CDF implements Interarrival.
+func (m *Mixture) CDF(i int) float64 {
+	var sum float64
+	for k, c := range m.components {
+		sum += m.weights[k] * c.CDF(i)
+	}
+	return sum
+}
+
+// Hazard implements Interarrival.
+func (m *Mixture) Hazard(i int) float64 { return hazardFromCDF(m, i) }
+
+// Mean implements Interarrival.
+func (m *Mixture) Mean() float64 { return m.mean }
+
+// Sample implements Interarrival.
+func (m *Mixture) Sample(src *rng.Source) int {
+	return m.components[m.sampler.Sample(src)].Sample(src)
+}
+
+// Name implements Interarrival.
+func (m *Mixture) Name() string { return m.name }

@@ -1,0 +1,95 @@
+// Package energy models the rechargeable-sensor energy subsystem: a
+// finite energy bucket ("battery") of capacity K and the stochastic
+// recharge processes that refill it (paper Section III-A).
+//
+// Levels are float64 so that fractional recharge rates such as the
+// paper's Uniform 0.5 units/slot are represented exactly enough; all
+// consumption amounts in the paper (δ1 = 1, δ2 = 6) are integral.
+package energy
+
+import "fmt"
+
+// Battery is the sensor's energy bucket. The zero value is unusable;
+// construct with NewBattery. Not safe for concurrent use: each simulated
+// sensor owns its battery.
+type Battery struct {
+	level    float64
+	capacity float64
+
+	overflowLost float64
+	denied       int64
+	consumed     float64
+	received     float64
+}
+
+// NewBattery creates a battery with the given capacity and initial level.
+// The initial level is clipped into [0, capacity]. Capacity must be
+// positive.
+func NewBattery(capacity, initial float64) (*Battery, error) {
+	if !(capacity > 0) {
+		return nil, fmt.Errorf("energy: battery capacity must be positive, got %g", capacity)
+	}
+	if initial < 0 {
+		initial = 0
+	}
+	if initial > capacity {
+		initial = capacity
+	}
+	return &Battery{level: initial, capacity: capacity}, nil
+}
+
+// Level returns the current energy level.
+func (b *Battery) Level() float64 { return b.level }
+
+// Capacity returns K.
+func (b *Battery) Capacity() float64 { return b.capacity }
+
+// Recharge adds amount (>= 0), clipping at capacity. Energy lost to
+// overflow is accounted in OverflowLost. Negative amounts are ignored.
+func (b *Battery) Recharge(amount float64) {
+	if amount <= 0 {
+		return
+	}
+	b.received += amount
+	b.level += amount
+	if b.level > b.capacity {
+		b.overflowLost += b.level - b.capacity
+		b.level = b.capacity
+	}
+}
+
+// CanConsume reports whether the battery holds at least amount.
+func (b *Battery) CanConsume(amount float64) bool {
+	return b.level >= amount-1e-12
+}
+
+// Consume withdraws amount if available and returns true; otherwise it
+// leaves the level unchanged, records a denial, and returns false.
+func (b *Battery) Consume(amount float64) bool {
+	if amount < 0 {
+		return false
+	}
+	if !b.CanConsume(amount) {
+		b.denied++
+		return false
+	}
+	b.level -= amount
+	if b.level < 0 {
+		b.level = 0
+	}
+	b.consumed += amount
+	return true
+}
+
+// OverflowLost returns the total energy discarded because the bucket was
+// full — the "burst absorption" loss that shrinks as K grows (Remark 2).
+func (b *Battery) OverflowLost() float64 { return b.overflowLost }
+
+// Denied returns how many Consume calls failed for lack of energy.
+func (b *Battery) Denied() int64 { return b.denied }
+
+// Consumed returns total energy successfully withdrawn.
+func (b *Battery) Consumed() float64 { return b.consumed }
+
+// Received returns total recharge energy offered (including overflow).
+func (b *Battery) Received() float64 { return b.received }

@@ -1,0 +1,233 @@
+package energy
+
+import (
+	"fmt"
+	"math"
+
+	"eventcap/internal/rng"
+)
+
+// Recharge produces the per-slot environmental energy e_t (paper Section
+// III-A: random with mean e, exact law unknown to the policy). A Recharge
+// may be stateful (e.g. Periodic); give each simulated sensor its own
+// instance. Implementations are not safe for concurrent use.
+type Recharge interface {
+	// Next returns the energy harvested in the coming slot.
+	Next(src *rng.Source) float64
+	// Mean returns the long-run average rate e.
+	Mean() float64
+	// Name identifies the process, e.g. "Bernoulli(q=0.5,c=1)".
+	Name() string
+}
+
+// Bernoulli recharges c units with probability q each slot — the paper's
+// default recharge model (Fig. 3 "Poisson" curve and all of Figs. 4–6).
+type Bernoulli struct {
+	q, c float64
+	name string
+}
+
+var _ Recharge = (*Bernoulli)(nil)
+
+// NewBernoulli constructs the process with per-slot probability q in
+// [0, 1] and amount c >= 0.
+func NewBernoulli(q, c float64) (*Bernoulli, error) {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return nil, fmt.Errorf("energy: Bernoulli q must be in [0,1], got %g", q)
+	}
+	if c < 0 || math.IsNaN(c) {
+		return nil, fmt.Errorf("energy: Bernoulli c must be >= 0, got %g", c)
+	}
+	return &Bernoulli{q: q, c: c, name: fmt.Sprintf("Bernoulli(q=%g,c=%g)", q, c)}, nil
+}
+
+// Next implements Recharge.
+func (b *Bernoulli) Next(src *rng.Source) float64 {
+	if src.Bernoulli(b.q) {
+		return b.c
+	}
+	return 0
+}
+
+// Mean implements Recharge.
+func (b *Bernoulli) Mean() float64 { return b.q * b.c }
+
+// Name implements Recharge.
+func (b *Bernoulli) Name() string { return b.name }
+
+// Periodic recharges amount units every period slots (the paper's
+// "Periodic" model: 5 units every 10 slots). It is stateful: the phase
+// advances on every Next call.
+type Periodic struct {
+	amount float64
+	period int
+	phase  int
+	name   string
+}
+
+var _ Recharge = (*Periodic)(nil)
+
+// NewPeriodic constructs the process delivering amount energy once every
+// period slots (on the last slot of each period).
+func NewPeriodic(amount float64, period int) (*Periodic, error) {
+	if amount < 0 || math.IsNaN(amount) {
+		return nil, fmt.Errorf("energy: Periodic amount must be >= 0, got %g", amount)
+	}
+	if period < 1 {
+		return nil, fmt.Errorf("energy: Periodic period must be >= 1, got %d", period)
+	}
+	return &Periodic{
+		amount: amount,
+		period: period,
+		name:   fmt.Sprintf("Periodic(%g per %d)", amount, period),
+	}, nil
+}
+
+// Next implements Recharge.
+func (p *Periodic) Next(*rng.Source) float64 {
+	p.phase++
+	if p.phase >= p.period {
+		p.phase = 0
+		return p.amount
+	}
+	return 0
+}
+
+// Mean implements Recharge.
+func (p *Periodic) Mean() float64 { return p.amount / float64(p.period) }
+
+// Name implements Recharge.
+func (p *Periodic) Name() string { return p.name }
+
+// Reset restores the initial phase, for reuse across simulation runs.
+func (p *Periodic) Reset() { p.phase = 0 }
+
+// Constant recharges the same amount every slot — the paper's "Uniform"
+// model (0.5 units per slot).
+type Constant struct {
+	e    float64
+	name string
+}
+
+var _ Recharge = (*Constant)(nil)
+
+// NewConstant constructs the deterministic per-slot recharge of e >= 0.
+func NewConstant(e float64) (*Constant, error) {
+	if e < 0 || math.IsNaN(e) {
+		return nil, fmt.Errorf("energy: Constant rate must be >= 0, got %g", e)
+	}
+	return &Constant{e: e, name: fmt.Sprintf("Constant(%g)", e)}, nil
+}
+
+// Next implements Recharge.
+func (c *Constant) Next(*rng.Source) float64 { return c.e }
+
+// Mean implements Recharge.
+func (c *Constant) Mean() float64 { return c.e }
+
+// Name implements Recharge.
+func (c *Constant) Name() string { return c.name }
+
+// ClippedGaussian recharges max(0, N(mu, sigma²)) per slot — an extension
+// model for solar-like harvesting noise. Mean accounts for the clipping:
+// E[max(0,X)] = mu·Φ(mu/σ) + σ·φ(mu/σ).
+type ClippedGaussian struct {
+	mu, sigma float64
+	mean      float64
+	name      string
+}
+
+var _ Recharge = (*ClippedGaussian)(nil)
+
+// NewClippedGaussian constructs the process. sigma must be >= 0.
+func NewClippedGaussian(mu, sigma float64) (*ClippedGaussian, error) {
+	if sigma < 0 || math.IsNaN(sigma) || math.IsNaN(mu) {
+		return nil, fmt.Errorf("energy: invalid ClippedGaussian(%g, %g)", mu, sigma)
+	}
+	g := &ClippedGaussian{
+		mu:    mu,
+		sigma: sigma,
+		name:  fmt.Sprintf("ClippedGaussian(mu=%g,sigma=%g)", mu, sigma),
+	}
+	if sigma == 0 {
+		g.mean = math.Max(0, mu)
+	} else {
+		z := mu / sigma
+		phi := math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+		capPhi := 0.5 * (1 + math.Erf(z/math.Sqrt2))
+		g.mean = mu*capPhi + sigma*phi
+	}
+	return g, nil
+}
+
+// Next implements Recharge.
+func (g *ClippedGaussian) Next(src *rng.Source) float64 {
+	v := g.mu + g.sigma*src.NormFloat64()
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Mean implements Recharge.
+func (g *ClippedGaussian) Mean() float64 { return g.mean }
+
+// Name implements Recharge.
+func (g *ClippedGaussian) Name() string { return g.name }
+
+// OnOff is a bursty two-state (Gilbert) recharge process: in the on state
+// it delivers amount per slot, in the off state nothing; state flips with
+// the given probabilities. It models intermittent sources (cloud cover,
+// duty-cycled RF chargers) and stresses the battery's burst absorption.
+type OnOff struct {
+	amount           float64
+	pOnToOff, pOffOn float64
+	on               bool
+	name             string
+}
+
+var _ Recharge = (*OnOff)(nil)
+
+// NewOnOff constructs the process starting in the on state.
+func NewOnOff(amount, pOnToOff, pOffToOn float64) (*OnOff, error) {
+	if amount < 0 || math.IsNaN(amount) {
+		return nil, fmt.Errorf("energy: OnOff amount must be >= 0, got %g", amount)
+	}
+	for _, p := range []float64{pOnToOff, pOffToOn} {
+		if p <= 0 || p > 1 || math.IsNaN(p) {
+			return nil, fmt.Errorf("energy: OnOff switch probabilities must be in (0,1], got (%g, %g)", pOnToOff, pOffToOn)
+		}
+	}
+	return &OnOff{
+		amount:   amount,
+		pOnToOff: pOnToOff,
+		pOffOn:   pOffToOn,
+		on:       true,
+		name:     fmt.Sprintf("OnOff(%g, on->off=%g, off->on=%g)", amount, pOnToOff, pOffToOn),
+	}, nil
+}
+
+// Next implements Recharge.
+func (o *OnOff) Next(src *rng.Source) float64 {
+	var out float64
+	if o.on {
+		out = o.amount
+		if src.Bernoulli(o.pOnToOff) {
+			o.on = false
+		}
+	} else if src.Bernoulli(o.pOffOn) {
+		o.on = true
+	}
+	return out
+}
+
+// Mean implements Recharge: amount times the stationary on-probability.
+func (o *OnOff) Mean() float64 {
+	return o.amount * o.pOffOn / (o.pOnToOff + o.pOffOn)
+}
+
+// Name implements Recharge.
+func (o *OnOff) Name() string { return o.name }
+
+// Reset restores the initial (on) state.
+func (o *OnOff) Reset() { o.on = true }

@@ -1,0 +1,378 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"eventcap/internal/core"
+	"eventcap/internal/dist"
+	"eventcap/internal/energy"
+	"eventcap/internal/mdp"
+	"eventcap/internal/sim"
+)
+
+// runAblationLP verifies Theorem 1 numerically: the greedy water-filling
+// policy attains exactly the optimum of the linear program (7)-(8) across
+// the energy range, for both an increasing-hazard and a Markov-renewal
+// workload.
+func runAblationLP(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	p := core.DefaultParams()
+	w, err := dist.NewWeibull(40, 3)
+	if err != nil {
+		return nil, err
+	}
+	mr, err := dist.NewMarkovRenewal(0.3, 0.6)
+	if err != nil {
+		return nil, err
+	}
+	es := []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.1}
+	if opts.Quick {
+		es = []float64{0.1, 0.5, 0.9}
+	}
+	table := &Table{
+		ID:     "ablation-lp",
+		Title:  "Theorem 1 greedy equals the simplex LP optimum",
+		XLabel: "e",
+		YLabel: "capture probability",
+		X:      es,
+		Notes:  []string{"max |greedy − LP| over both workloads is reported in the last column; Theorem 1 predicts 0"},
+	}
+	gW := Series{Name: "greedy W(40,3)", Y: make([]float64, len(es))}
+	lW := Series{Name: "LP W(40,3)", Y: make([]float64, len(es))}
+	gM := Series{Name: "greedy Markov(.3,.6)", Y: make([]float64, len(es))}
+	lM := Series{Name: "LP Markov(.3,.6)", Y: make([]float64, len(es))}
+	diff := Series{Name: "max |diff|", Y: make([]float64, len(es))}
+	for i, e := range es {
+		for k, d := range []dist.Interarrival{w, mr} {
+			greedy, err := core.GreedyFI(d, e, p)
+			if err != nil {
+				return nil, err
+			}
+			lp, err := core.LPFI(d, e, p, 300)
+			if err != nil {
+				return nil, err
+			}
+			if k == 0 {
+				gW.Y[i], lW.Y[i] = greedy.CaptureProb, lp.CaptureProb
+			} else {
+				gM.Y[i], lM.Y[i] = greedy.CaptureProb, lp.CaptureProb
+			}
+			if d := math.Abs(greedy.CaptureProb - lp.CaptureProb); d > diff.Y[i] {
+				diff.Y[i] = d
+			}
+		}
+	}
+	table.Series = []Series{gW, lW, gM, lM, diff}
+	return table, nil
+}
+
+// runAblationWindows measures the gain of the paper's refinement path
+// (extra transition points after c_n3) over the base 3-region clustering
+// policy.
+func runAblationWindows(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	p := core.DefaultParams()
+	d, err := dist.NewWeibull(40, 3)
+	if err != nil {
+		return nil, err
+	}
+	es := []float64{0.1, 0.2, 0.3, 0.5, 0.7, 0.9}
+	if opts.Quick {
+		es = []float64{0.3, 0.7}
+	}
+	table := &Table{
+		ID:     "ablation-windows",
+		Title:  "clustering vs window-refined clustering (analytic U)",
+		XLabel: "e",
+		YLabel: "capture probability",
+		X:      es,
+		Notes:  []string{"refinement inserts up to 2 extra sleep windows into the recovery tail (Section IV-B2's c_n4, c_n5 remark)"},
+	}
+	base := Series{Name: "pi'_PI (3 regions)", Y: make([]float64, len(es))}
+	refined := Series{Name: "refined (extra windows)", Y: make([]float64, len(es))}
+	gain := Series{Name: "gain", Y: make([]float64, len(es))}
+	for i, e := range es {
+		copts := core.ClusteringOptions{}
+		if opts.Quick {
+			copts.CoarsePoints = 8
+			copts.MaxGap = 512
+		}
+		b, err := core.OptimizeClustering(d, e, p, copts)
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.RefineWindows(d, e, p, b, 2)
+		if err != nil {
+			return nil, err
+		}
+		base.Y[i] = b.CaptureProb
+		refined.Y[i] = r.CaptureProb
+		gain.Y[i] = r.CaptureProb - b.CaptureProb
+	}
+	table.Series = []Series{base, refined, gain}
+	return table, nil
+}
+
+// runAblationPOMDP quantifies Section IV-B1's intractability claim (the
+// reachable information-state count grows exponentially with the
+// horizon) and, on the same small instance, the clustering-style vector's
+// optimality gap against the exact finite-horizon POMDP solution.
+func runAblationPOMDP(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	alpha := []float64{0.1, 0.2, 0.3, 0.25, 0.15}
+	horizons := []float64{2, 4, 6, 8, 10, 12}
+	if opts.Quick {
+		horizons = []float64{2, 4, 6}
+	}
+	table := &Table{
+		ID:     "ablation-pomdp",
+		Title:  "POMDP information-state growth and exact-vs-vector gap",
+		XLabel: "horizon",
+		YLabel: "count / captures",
+		X:      horizons,
+		Notes: []string{
+			"events: 5-slot empirical PMF; battery K=8, recharge 1/slot, delta1=1 delta2=2",
+			"'beliefs' is the number of distinct reachable information states (exponential in the horizon)",
+			"'exact' and 'vector' are expected captures of the optimal policy and of the best static hot-window vector",
+		},
+	}
+	beliefs := Series{Name: "beliefs", Y: make([]float64, len(horizons))}
+	exact := Series{Name: "exact", Y: make([]float64, len(horizons))}
+	vector := Series{Name: "vector", Y: make([]float64, len(horizons))}
+	for i, hf := range horizons {
+		h := int(hf)
+		pomdp, err := mdp.NewPOMDP(alpha, 1, 2, 8, 1, h)
+		if err != nil {
+			return nil, err
+		}
+		res := pomdp.SolveExact()
+		exact.Y[i] = res.Value
+		beliefs.Y[i] = float64(res.DistinctBeliefs)
+		// Best static window over the 5-state support (brute force).
+		bestVec := 0.0
+		for lo := 1; lo <= 5; lo++ {
+			for hi := lo; hi <= 5; hi++ {
+				vec := make([]bool, 5)
+				for s := lo; s <= hi; s++ {
+					vec[s-1] = true
+				}
+				v := pomdp.EvaluateVector(vec, true)
+				if v.Value > bestVec {
+					bestVec = v.Value
+				}
+			}
+		}
+		vector.Y[i] = bestVec
+	}
+	table.Series = []Series{beliefs, exact, vector}
+	return table, nil
+}
+
+// runAblationRecharge extends Fig. 3's recharge-independence claim to
+// bursty and noisy harvesting models beyond the paper's three: all
+// processes share mean rate 0.5, and the greedy policy's QoM is the same
+// across them once K absorbs the bursts.
+func runAblationRecharge(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	d, err := dist.NewWeibull(40, 3)
+	if err != nil {
+		return nil, err
+	}
+	p := core.DefaultParams()
+	fi, err := core.GreedyFI(d, 0.5, p)
+	if err != nil {
+		return nil, err
+	}
+	caps := []float64{25, 100, 400, 1600}
+	if opts.Quick {
+		caps = []float64{25, 400}
+	}
+	cases := []rechargeCase{
+		{name: "Bernoulli(.5,1)", mk: func() energy.Recharge { r, _ := energy.NewBernoulli(0.5, 1); return r }},
+		{name: "Periodic(5/10)", mk: func() energy.Recharge { r, _ := energy.NewPeriodic(5, 10); return r }},
+		{name: "Constant(.5)", mk: func() energy.Recharge { r, _ := energy.NewConstant(0.5); return r }},
+		{name: "ClippedGauss", mk: func() energy.Recharge {
+			// mu chosen so the clipped mean is 0.5.
+			r, _ := energy.NewClippedGaussian(0.43236, 0.5)
+			return r
+		}},
+		{name: "OnOff bursty", mk: func() energy.Recharge { r, _ := energy.NewOnOff(1.5, 0.02, 0.01); return r }},
+	}
+	table := &Table{
+		ID:     "ablation-recharge",
+		Title:  "recharge-process independence of U_K(pi*_FI)",
+		XLabel: "K",
+		YLabel: "capture probability",
+		X:      caps,
+		Notes: []string{
+			fmt.Sprintf("X~W(40,3), e=0.5 for every process, T=%d; analytic bound %.4f", opts.Slots, fi.CaptureProb),
+			"the bursty OnOff process needs the largest K to converge — battery as burst absorber (Remark 2)",
+		},
+	}
+	for _, rc := range cases {
+		s := Series{Name: rc.name, Y: make([]float64, len(caps))}
+		for i, k := range caps {
+			res, err := sim.Run(sim.Config{
+				Dist:        d,
+				Params:      p,
+				NewRecharge: rc.mk,
+				NewPolicy:   newVectorPolicy(sim.FullInfo, fi.Policy),
+				BatteryCap:  k,
+				Slots:       opts.Slots,
+				Seed:        opts.Seed + uint64(i),
+				Info:        sim.FullInfo,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Y[i] = res.QoM
+		}
+		table.Series = append(table.Series, s)
+	}
+	return table, nil
+}
+
+// runAblationLoadBalance measures Section V-A's load-balancing concern:
+// round-robin M-FI balances "natural" workloads but degenerates on the
+// paper's adversarial β1=0, β2=1 example (deterministic 2-slot events
+// with two sensors).
+func runAblationLoadBalance(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	p := core.DefaultParams()
+	ns := []float64{2, 3, 4, 5}
+	if opts.Quick {
+		ns = []float64{2, 4}
+	}
+	w, err := dist.NewWeibull(40, 3)
+	if err != nil {
+		return nil, err
+	}
+	pa, err := dist.NewPareto(2, 10)
+	if err != nil {
+		return nil, err
+	}
+	det, err := dist.NewDeterministic(2)
+	if err != nil {
+		return nil, err
+	}
+	table := &Table{
+		ID:     "ablation-loadbalance",
+		Title:  "M-FI load imbalance (max-min)/mean activations per sensor",
+		XLabel: "N",
+		YLabel: "imbalance",
+		X:      ns,
+		Notes: []string{
+			"Deterministic(2) is the paper's adversarial example: with N=2 one sensor owns every event slot",
+		},
+	}
+	for _, tc := range []struct {
+		name string
+		d    dist.Interarrival
+		e    float64
+	}{
+		{"Weibull(40,3)", w, 0.3},
+		{"Pareto(2,10)", pa, 0.3},
+		{"Deterministic(2)", det, 1.0},
+	} {
+		s := Series{Name: tc.name, Y: make([]float64, len(ns))}
+		for i, nf := range ns {
+			n := int(nf)
+			fi, err := core.GreedyFI(tc.d, float64(n)*tc.e, p)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(sim.Config{
+				Dist:        tc.d,
+				Params:      p,
+				NewRecharge: func() energy.Recharge { r, _ := energy.NewConstant(tc.e); return r },
+				NewPolicy:   newVectorPolicy(sim.FullInfo, fi.Policy),
+				N:           n,
+				Mode:        sim.ModeRoundRobin,
+				BatteryCap:  1000,
+				Slots:       opts.Slots,
+				Seed:        opts.Seed + uint64(i),
+				Info:        sim.FullInfo,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Y[i] = res.LoadImbalance()
+		}
+		table.Series = append(table.Series, s)
+	}
+	return table, nil
+}
+
+// runAblationPoisson demonstrates the paper's "important exception": for
+// memoryless (geometric) inter-arrivals the hazard is flat, there is no
+// hot region to exploit, and the clustering policy collapses to the same
+// performance as the aggressive and periodic baselines.
+func runAblationPoisson(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	p := core.DefaultParams()
+	g, err := dist.NewGeometric(1.0 / 36)
+	if err != nil {
+		return nil, err
+	}
+	cs := []float64{0.6, 1.0, 1.4, 1.8, 2.2}
+	if opts.Quick {
+		cs = []float64{0.6, 1.8}
+	}
+	table := &Table{
+		ID:     "ablation-poisson",
+		Title:  "memoryless events: no policy can exploit renewal memory",
+		XLabel: "c",
+		YLabel: "capture probability",
+		X:      cs,
+		Notes: []string{
+			fmt.Sprintf("Geometric(1/36) events (discrete Poisson), Bernoulli(q=0.5, c) recharge, K=1000, T=%d", opts.Slots),
+		},
+	}
+	cluster := Series{Name: "pi'_PI", Y: make([]float64, len(cs))}
+	aggr := Series{Name: "pi_AG", Y: make([]float64, len(cs))}
+	peri := Series{Name: "pi_PE", Y: make([]float64, len(cs))}
+	for i, c := range cs {
+		e := 0.5 * c
+		newRecharge := func() energy.Recharge { r, _ := energy.NewBernoulli(0.5, c); return r }
+		run := func(newPolicy func(int) sim.Policy, seedOff uint64) (float64, error) {
+			res, err := sim.Run(sim.Config{
+				Dist:        g,
+				Params:      p,
+				NewRecharge: newRecharge,
+				NewPolicy:   newPolicy,
+				BatteryCap:  1000,
+				Slots:       opts.Slots,
+				Seed:        opts.Seed + uint64(i)*10 + seedOff,
+				Info:        sim.PartialInfo,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.QoM, nil
+		}
+		vec, _, err := robustClustering(g, e, p, opts, 1000, newRecharge, opts.Seed+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		if cluster.Y[i], err = run(newVectorPolicy(sim.PartialInfo, vec), 1); err != nil {
+			return nil, err
+		}
+		if aggr.Y[i], err = run(func(int) sim.Policy { return sim.Aggressive{} }, 2); err != nil {
+			return nil, err
+		}
+		theta2, err := core.PeriodicTheta2(3, e, g, p)
+		if err != nil {
+			return nil, err
+		}
+		pe, err := sim.NewPeriodic(3, theta2)
+		if err != nil {
+			return nil, err
+		}
+		if peri.Y[i], err = run(func(int) sim.Policy { return pe }, 3); err != nil {
+			return nil, err
+		}
+	}
+	table.Series = []Series{cluster, aggr, peri}
+	return table, nil
+}

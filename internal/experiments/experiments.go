@@ -1,0 +1,207 @@
+// Package experiments defines one runnable experiment per table and
+// figure of the paper's evaluation (Section VI), plus the ablations
+// listed in DESIGN.md. Each experiment regenerates the corresponding
+// series — same workloads, parameters, and sweep axes — and renders them
+// as ASCII tables and CSV. The cmd/experiments binary, the root
+// benchmarks, and EXPERIMENTS.md are all driven from this registry.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Options control an experiment run.
+type Options struct {
+	// Slots is the simulated duration T (default 1,000,000, the paper's
+	// setting).
+	Slots int64
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Quick shrinks sweeps and horizons for smoke tests and benchmarks.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Slots <= 0 {
+		o.Slots = 1_000_000
+		if o.Quick {
+			o.Slots = 100_000
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Name string
+	Y    []float64 // aligned with the parent Table's X
+}
+
+// Table is the regenerated data behind one paper figure/table.
+type Table struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+	// Notes document substitutions, parameters, and reading guidance.
+	Notes []string
+}
+
+// Experiment is a registered, runnable reproduction unit.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Table, error)
+}
+
+// All returns every registered experiment, figures first, in a stable
+// order.
+func All() []Experiment {
+	exps := []Experiment{
+		{ID: "fig3a", Title: "Fig 3(a): U_K(pi*_FI) vs battery capacity K", Run: runFig3a},
+		{ID: "fig3b", Title: "Fig 3(b): U_K(pi'_PI) vs battery capacity K", Run: runFig3b},
+		{ID: "fig4a", Title: "Fig 4(a): policy comparison, Weibull(40,3)", Run: runFig4a},
+		{ID: "fig4b", Title: "Fig 4(b): policy comparison, Pareto(2,10)", Run: runFig4b},
+		{ID: "fig5a", Title: "Fig 5(a): clustering vs EBCW, Markov events, b=0.2", Run: runFig5a},
+		{ID: "fig5b", Title: "Fig 5(b): clustering vs EBCW, Markov events, b=0.7", Run: runFig5b},
+		{ID: "fig6a", Title: "Fig 6(a): multi-sensor QoM vs N", Run: runFig6a},
+		{ID: "fig6b", Title: "Fig 6(b): multi-sensor QoM vs recharge c", Run: runFig6b},
+		{ID: "ablation-lp", Title: "Ablation: Theorem 1 greedy vs simplex LP", Run: runAblationLP},
+		{ID: "ablation-windows", Title: "Ablation: clustering vs window refinement", Run: runAblationWindows},
+		{ID: "ablation-pomdp", Title: "Ablation: POMDP information-state growth and optimality gap", Run: runAblationPOMDP},
+		{ID: "ablation-recharge", Title: "Ablation: recharge-process independence", Run: runAblationRecharge},
+		{ID: "ablation-loadbalance", Title: "Ablation: M-FI load balancing", Run: runAblationLoadBalance},
+		{ID: "ablation-poisson", Title: "Ablation: memoryless events (the Poisson exception)", Run: runAblationPoisson},
+		{ID: "ablation-adaptive", Title: "Ablation: online distribution learning", Run: runAblationAdaptive},
+		{ID: "ablation-faults", Title: "Ablation: sensor-failure resilience", Run: runAblationFaults},
+		{ID: "ablation-multipoi", Title: "Ablation: multi-PoI hazard-index extension", Run: runAblationMultiPoI},
+	}
+	return exps
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment ids, sorted with figures first.
+func IDs() []string {
+	exps := All()
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// ASCII renders the table for terminal output.
+func (t *Table) ASCII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	header := make([]string, 0, len(t.Series)+1)
+	header = append(header, t.XLabel)
+	for _, s := range t.Series {
+		header = append(header, s.Name)
+	}
+	widths := make([]int, len(header))
+	rows := make([][]string, len(t.X))
+	for i, x := range t.X {
+		row := make([]string, 0, len(header))
+		row = append(row, trimFloat(x))
+		for _, s := range t.Series {
+			cell := ""
+			if i < len(s.Y) {
+				cell = fmt.Sprintf("%.4f", s.Y[i])
+			}
+			row = append(row, cell)
+		}
+		rows[i] = row
+	}
+	for c, h := range header {
+		widths[c] = len(h)
+		for _, row := range rows {
+			if len(row[c]) > widths[c] {
+				widths[c] = len(row[c])
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for c, cell := range cells {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[c], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	cols := []string{csvEscape(t.XLabel)}
+	for _, s := range t.Series {
+		cols = append(cols, csvEscape(s.Name))
+	}
+	b.WriteString(strings.Join(cols, ","))
+	b.WriteByte('\n')
+	for i, x := range t.X {
+		row := []string{trimFloat(x)}
+		for _, s := range t.Series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%.6f", s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.4f", x)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// seriesByName finds a series in a table (helper for tests).
+func (t *Table) seriesByName(name string) (Series, bool) {
+	for _, s := range t.Series {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Series{}, false
+}

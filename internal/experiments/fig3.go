@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+
+	"eventcap/internal/core"
+	"eventcap/internal/dist"
+	"eventcap/internal/energy"
+	"eventcap/internal/sim"
+)
+
+// Figure 3 setup (Section VI-A1): X ~ W(40,3), e = 0.5, three recharge
+// processes — Bernoulli(q=0.5, c=1) (the paper labels it "Poisson"),
+// Periodic (5 units every 10 slots), and Uniform (0.5 units every slot) —
+// with the battery capacity K swept. Both information models converge to
+// their analytic optimum as K grows, independently of the recharge
+// process.
+
+const fig3Rate = 0.5
+
+func fig3Capacities(quick bool) []float64 {
+	if quick {
+		return []float64{7, 25, 100}
+	}
+	return []float64{7, 10, 15, 20, 30, 50, 75, 100, 150, 200}
+}
+
+type rechargeCase struct {
+	name string
+	mk   func() energy.Recharge
+}
+
+func fig3Recharges() ([]rechargeCase, error) {
+	bern, err := energy.NewBernoulli(0.5, 1)
+	if err != nil {
+		return nil, err
+	}
+	_ = bern
+	return []rechargeCase{
+		{name: "Bernoulli", mk: func() energy.Recharge {
+			r, _ := energy.NewBernoulli(0.5, 1)
+			return r
+		}},
+		{name: "Periodic", mk: func() energy.Recharge {
+			r, _ := energy.NewPeriodic(5, 10)
+			return r
+		}},
+		{name: "Uniform", mk: func() energy.Recharge {
+			r, _ := energy.NewConstant(0.5)
+			return r
+		}},
+	}, nil
+}
+
+func runFig3(id, title string, opts Options, info sim.Info) (*Table, error) {
+	opts = opts.withDefaults()
+	d, err := dist.NewWeibull(40, 3)
+	if err != nil {
+		return nil, err
+	}
+	p := core.DefaultParams()
+
+	var vec core.Vector
+	var bound float64
+	var policyName string
+	switch info {
+	case sim.FullInfo:
+		fi, err := core.GreedyFI(d, fig3Rate, p)
+		if err != nil {
+			return nil, err
+		}
+		vec, bound, policyName = fi.Policy, fi.CaptureProb, "pi*_FI"
+	case sim.PartialInfo:
+		copts := core.ClusteringOptions{}
+		if opts.Quick {
+			copts.CoarsePoints = 8
+			copts.MaxGap = 512
+		}
+		pi, err := core.OptimizeClustering(d, fig3Rate, p, copts)
+		if err != nil {
+			return nil, err
+		}
+		vec, bound, policyName = pi.Vector, pi.CaptureProb, "pi'_PI"
+	default:
+		return nil, fmt.Errorf("experiments: unsupported info model %d", info)
+	}
+
+	recharges, err := fig3Recharges()
+	if err != nil {
+		return nil, err
+	}
+	caps := fig3Capacities(opts.Quick)
+
+	table := &Table{
+		ID:     id,
+		Title:  title,
+		XLabel: "K",
+		YLabel: "capture probability",
+		X:      caps,
+		Notes: []string{
+			fmt.Sprintf("X~W(40,3), e=%.2f, T=%d, policy %s; Upper Bound is the analytic U under the energy assumption", fig3Rate, opts.Slots, policyName),
+		},
+	}
+	upper := Series{Name: "Upper Bound", Y: make([]float64, len(caps))}
+	for i := range caps {
+		upper.Y[i] = bound
+	}
+	table.Series = append(table.Series, upper)
+
+	for _, rc := range recharges {
+		s := Series{Name: rc.name, Y: make([]float64, len(caps))}
+		for i, k := range caps {
+			cfg := sim.Config{
+				Dist:        d,
+				Params:      p,
+				NewRecharge: rc.mk,
+				NewPolicy:   newVectorPolicy(info, vec),
+				BatteryCap:  k,
+				Slots:       opts.Slots,
+				Seed:        opts.Seed + uint64(i),
+				Info:        info,
+			}
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s with %s at K=%g: %w", id, rc.name, k, err)
+			}
+			s.Y[i] = res.QoM
+		}
+		table.Series = append(table.Series, s)
+	}
+	return table, nil
+}
+
+// newVectorPolicy returns a policy factory executing vec under the given
+// information model.
+func newVectorPolicy(info sim.Info, vec core.Vector) func(int) sim.Policy {
+	return func(int) sim.Policy {
+		if info == sim.FullInfo {
+			return &sim.VectorFI{Vector: vec}
+		}
+		return &sim.VectorPI{Vector: vec}
+	}
+}
+
+func runFig3a(opts Options) (*Table, error) {
+	return runFig3("fig3a", "U_K(pi*_FI) vs K under three recharge processes", opts, sim.FullInfo)
+}
+
+func runFig3b(opts Options) (*Table, error) {
+	return runFig3("fig3b", "U_K(pi'_PI) vs K under three recharge processes", opts, sim.PartialInfo)
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"eventcap/internal/core"
+	"eventcap/internal/dist"
+	"eventcap/internal/energy"
+	"eventcap/internal/sim"
+)
+
+// Figure 4 (Section VI-A2): partial information, K = 1000, Bernoulli
+// recharge with q = 0.5 and the per-recharge amount c swept; the
+// clustering policy π'_PI(e) against the aggressive and periodic (θ1 = 3)
+// baselines, on Weibull(40,3) (panel a) and Pareto(2,10) (panel b).
+
+const (
+	fig4K      = 1000
+	fig4Q      = 0.5
+	fig4Theta1 = 3
+)
+
+func runFig4(id, title string, opts Options, d dist.Interarrival, cs []float64) (*Table, error) {
+	opts = opts.withDefaults()
+	p := core.DefaultParams()
+	if opts.Quick && len(cs) > 3 {
+		cs = []float64{cs[0], cs[len(cs)/2], cs[len(cs)-1]}
+	}
+
+	table := &Table{
+		ID:     id,
+		Title:  title,
+		XLabel: "c",
+		YLabel: "capture probability",
+		X:      cs,
+		Notes: []string{
+			fmt.Sprintf("%s, partial information, K=%d, Bernoulli(q=%.2f, c), theta1=%d, T=%d",
+				d.Name(), fig4K, fig4Q, fig4Theta1, opts.Slots),
+		},
+	}
+	cluster := Series{Name: "pi'_PI", Y: make([]float64, len(cs))}
+	aggr := Series{Name: "pi_AG", Y: make([]float64, len(cs))}
+	peri := Series{Name: "pi_PE", Y: make([]float64, len(cs))}
+
+	for i, c := range cs {
+		e := fig4Q * c
+		newRecharge := func() energy.Recharge {
+			r, _ := energy.NewBernoulli(fig4Q, c)
+			return r
+		}
+		run := func(newPolicy func(int) sim.Policy, seedOff uint64) (float64, error) {
+			res, err := sim.Run(sim.Config{
+				Dist:        d,
+				Params:      p,
+				NewRecharge: newRecharge,
+				NewPolicy:   newPolicy,
+				BatteryCap:  fig4K,
+				Slots:       opts.Slots,
+				Seed:        opts.Seed + uint64(i)*10 + seedOff,
+				Info:        sim.PartialInfo,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.QoM, nil
+		}
+
+		vec, _, err := robustClustering(d, e, p, opts, fig4K, newRecharge, opts.Seed+uint64(i))
+		if err != nil {
+			return nil, fmt.Errorf("%s: optimizing clustering at c=%g: %w", id, c, err)
+		}
+		if cluster.Y[i], err = run(newVectorPolicy(sim.PartialInfo, vec), 1); err != nil {
+			return nil, err
+		}
+
+		if aggr.Y[i], err = run(func(int) sim.Policy { return sim.Aggressive{} }, 2); err != nil {
+			return nil, err
+		}
+
+		theta2, err := core.PeriodicTheta2(fig4Theta1, e, d, p)
+		if err != nil {
+			return nil, err
+		}
+		pe, err := sim.NewPeriodic(fig4Theta1, theta2)
+		if err != nil {
+			return nil, err
+		}
+		if peri.Y[i], err = run(func(int) sim.Policy { return pe }, 3); err != nil {
+			return nil, err
+		}
+	}
+	table.Series = []Series{cluster, aggr, peri}
+	return table, nil
+}
+
+func runFig4a(opts Options) (*Table, error) {
+	d, err := dist.NewWeibull(40, 3)
+	if err != nil {
+		return nil, err
+	}
+	return runFig4("fig4a", "pi'_PI vs aggressive vs periodic, Weibull(40,3)", opts, d,
+		[]float64{0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2})
+}
+
+func runFig4b(opts Options) (*Table, error) {
+	d, err := dist.NewPareto(2, 10)
+	if err != nil {
+		return nil, err
+	}
+	return runFig4("fig4b", "pi'_PI vs aggressive vs periodic, Pareto(2,10)", opts, d,
+		[]float64{0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.25, 2.5})
+}

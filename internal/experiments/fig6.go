@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+
+	"eventcap/internal/core"
+	"eventcap/internal/dist"
+	"eventcap/internal/energy"
+	"eventcap/internal/sim"
+)
+
+// Figure 6 (Section VI-B): N rechargeable sensors monitoring one PoI,
+// X ~ W(40,3), per-sensor Bernoulli recharge q = 0.1, K = 1000. M-FI and
+// M-PI run the single-sensor policies computed for the aggregate rate N·e
+// under round-robin slot assignment; the aggressive baseline uses the
+// same slot assignment, the periodic baseline rotates θ2-slot blocks.
+// Panel (a) sweeps N at c = 1; panel (b) sweeps c at N = 5.
+
+const (
+	fig6K      = 1000
+	fig6Q      = 0.1
+	fig6Theta1 = 3
+)
+
+// fig6Point measures the four policies for one (N, c) setting.
+func fig6Point(opts Options, n int, c float64, seedBase uint64) (mfi, mpi, ag, pe float64, err error) {
+	d, err := dist.NewWeibull(40, 3)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	p := core.DefaultParams()
+	e := fig6Q * c
+	aggregate := float64(n) * e
+
+	newRecharge := func() energy.Recharge {
+		r, _ := energy.NewBernoulli(fig6Q, c)
+		return r
+	}
+	run := func(mode sim.Mode, blockLen int, info sim.Info, newPolicy func(int) sim.Policy, seedOff uint64) (float64, error) {
+		res, err := sim.Run(sim.Config{
+			Dist:        d,
+			Params:      p,
+			NewRecharge: newRecharge,
+			NewPolicy:   newPolicy,
+			N:           n,
+			Mode:        mode,
+			BlockLen:    blockLen,
+			BatteryCap:  fig6K,
+			Slots:       opts.Slots,
+			Seed:        seedBase + seedOff,
+			Info:        info,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.QoM, nil
+	}
+
+	// M-FI: greedy policy at the aggregate recharge rate.
+	fi, err := core.GreedyFI(d, aggregate, p)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if mfi, err = run(sim.ModeRoundRobin, 0, sim.FullInfo, newVectorPolicy(sim.FullInfo, fi.Policy), 1); err != nil {
+		return 0, 0, 0, 0, err
+	}
+
+	// M-PI: clustering policy at the aggregate rate.
+	vec, _, err := robustClustering(d, aggregate, p, opts, fig6K, newRecharge, seedBase)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if mpi, err = run(sim.ModeRoundRobin, 0, sim.PartialInfo, newVectorPolicy(sim.PartialInfo, vec), 2); err != nil {
+		return 0, 0, 0, 0, err
+	}
+
+	// Multi-sensor aggressive: round-robin slots, aggressive inside.
+	if ag, err = run(sim.ModeRoundRobin, 0, sim.PartialInfo, func(int) sim.Policy { return sim.Aggressive{} }, 3); err != nil {
+		return 0, 0, 0, 0, err
+	}
+
+	// Multi-sensor periodic: θ2-slot blocks rotate across sensors; each
+	// sensor is energy balanced at θ2(θ1, N·e).
+	theta2, err := core.PeriodicTheta2(fig6Theta1, aggregate, d, p)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	pol, err := sim.NewPeriodic(fig6Theta1, theta2)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if pe, err = run(sim.ModeBlocks, pol.Theta2, sim.PartialInfo, func(int) sim.Policy { return pol }, 4); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return mfi, mpi, ag, pe, nil
+}
+
+func runFig6(id, title, xlabel string, opts Options, points []float64, setting func(x float64) (n int, c float64), note string) (*Table, error) {
+	opts = opts.withDefaults()
+	if opts.Quick && len(points) > 3 {
+		points = []float64{points[0], points[len(points)/2], points[len(points)-1]}
+	}
+	table := &Table{
+		ID:     id,
+		Title:  title,
+		XLabel: xlabel,
+		YLabel: "capture probability",
+		X:      points,
+		Notes:  []string{note + fmt.Sprintf(", K=%d, T=%d", fig6K, opts.Slots)},
+	}
+	mfiS := Series{Name: "M-FI", Y: make([]float64, len(points))}
+	mpiS := Series{Name: "M-PI", Y: make([]float64, len(points))}
+	agS := Series{Name: "pi_AG", Y: make([]float64, len(points))}
+	peS := Series{Name: "pi_PE", Y: make([]float64, len(points))}
+	for i, x := range points {
+		n, c := setting(x)
+		mfi, mpi, ag, pe, err := fig6Point(opts, n, c, opts.Seed+uint64(i)*10)
+		if err != nil {
+			return nil, fmt.Errorf("%s at %s=%g: %w", id, xlabel, x, err)
+		}
+		mfiS.Y[i], mpiS.Y[i], agS.Y[i], peS.Y[i] = mfi, mpi, ag, pe
+	}
+	table.Series = []Series{mfiS, mpiS, agS, peS}
+	return table, nil
+}
+
+func runFig6a(opts Options) (*Table, error) {
+	return runFig6("fig6a", "multi-sensor QoM vs N (q=0.1, c=1)", "N", opts,
+		[]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
+		func(x float64) (int, float64) { return int(x), 1 },
+		"X~W(40,3), Bernoulli(q=0.1, c=1) per sensor")
+}
+
+func runFig6b(opts Options) (*Table, error) {
+	return runFig6("fig6b", "multi-sensor QoM vs c (N=5, q=0.1)", "c", opts,
+		[]float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0},
+		func(x float64) (int, float64) { return 5, x },
+		"X~W(40,3), N=5, Bernoulli(q=0.1, c) per sensor")
+}

@@ -1,0 +1,293 @@
+package mdp
+
+import (
+	"math"
+	"testing"
+
+	"eventcap/internal/rng"
+)
+
+// twoStateCycle builds an MDP where the optimal behaviour is to cycle
+// s0 -> s1 -> s0 earning 5 per cycle (gain 2.5) instead of parking at s0
+// for 1 per step.
+func twoStateCycle(t *testing.T) *MDP {
+	t.Helper()
+	m, err := New(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(m.SetTransition(0, 0, []Transition{{Next: 0, Prob: 1}}, 1))
+	must(m.SetTransition(0, 1, []Transition{{Next: 1, Prob: 1}}, 5))
+	must(m.SetTransition(1, 0, []Transition{{Next: 0, Prob: 1}}, 0))
+	must(m.SetTransition(1, 1, []Transition{{Next: 0, Prob: 1}}, 0))
+	return m
+}
+
+func TestRVIKnownGain(t *testing.T) {
+	m := twoStateCycle(t)
+	sol, err := m.RelativeValueIteration(1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Gain-2.5) > 1e-8 {
+		t.Fatalf("gain %v, want 2.5", sol.Gain)
+	}
+	if sol.Policy[0] != 1 {
+		t.Fatalf("policy at s0 = %d, want 1 (cycle)", sol.Policy[0])
+	}
+}
+
+func TestEvaluatePolicyKnown(t *testing.T) {
+	m := twoStateCycle(t)
+	gain, err := m.EvaluatePolicy([]int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gain-1) > 1e-10 {
+		t.Fatalf("parking gain %v, want 1", gain)
+	}
+	gain, err = m.EvaluatePolicy([]int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gain-2.5) > 1e-10 {
+		t.Fatalf("cycle gain %v, want 2.5", gain)
+	}
+}
+
+func TestLPMatchesRVI(t *testing.T) {
+	m := twoStateCycle(t)
+	lpGain, err := m.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lpGain-2.5) > 1e-7 {
+		t.Fatalf("LP gain %v, want 2.5", lpGain)
+	}
+}
+
+// TestSolversAgreeOnRandomMDPs is the three-way consistency property: RVI
+// gain == LP gain == evaluation of the RVI policy.
+func TestSolversAgreeOnRandomMDPs(t *testing.T) {
+	src := rng.New(41, 0)
+	for trial := 0; trial < 25; trial++ {
+		nS := 2 + src.Intn(6)
+		nA := 1 + src.Intn(3)
+		m, err := New(nS, nA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < nS; s++ {
+			for a := 0; a < nA; a++ {
+				// Dense positive transitions keep the chain unichain.
+				probs := make([]float64, nS)
+				var total float64
+				for j := range probs {
+					probs[j] = src.Float64() + 0.05
+					total += probs[j]
+				}
+				outs := make([]Transition, nS)
+				for j := range probs {
+					outs[j] = Transition{Next: j, Prob: probs[j] / total}
+				}
+				if err := m.SetTransition(s, a, outs, src.Float64()*10); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		sol, err := m.RelativeValueIteration(1e-11, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		evalGain, err := m.EvaluatePolicy(sol.Policy)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(sol.Gain-evalGain) > 1e-6 {
+			t.Fatalf("trial %d: RVI gain %v != policy evaluation %v", trial, sol.Gain, evalGain)
+		}
+		lpGain, err := m.SolveLP()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(sol.Gain-lpGain) > 1e-5 {
+			t.Fatalf("trial %d: RVI gain %v != LP gain %v", trial, sol.Gain, lpGain)
+		}
+	}
+}
+
+func TestMDPValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Fatal("zero states accepted")
+	}
+	m, err := New(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetTransition(5, 0, nil, 0); err == nil {
+		t.Fatal("out-of-range state accepted")
+	}
+	if err := m.SetTransition(0, 5, nil, 0); err == nil {
+		t.Fatal("out-of-range action accepted")
+	}
+	if err := m.SetTransition(0, 0, []Transition{{Next: 0, Prob: 0.5}}, 0); err == nil {
+		t.Fatal("sub-stochastic outcomes accepted")
+	}
+	if err := m.SetTransition(0, 0, []Transition{{Next: 9, Prob: 1}}, 0); err == nil {
+		t.Fatal("bad target accepted")
+	}
+	if err := m.SetTransition(0, 0, []Transition{{Next: 0, Prob: -1}, {Next: 1, Prob: 2}}, 0); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+	// Incomplete MDP must be rejected by solvers.
+	if _, err := m.RelativeValueIteration(1e-9, 10); err == nil {
+		t.Fatal("incomplete MDP solved")
+	}
+	if _, err := m.EvaluatePolicy([]int{0, 0}); err == nil {
+		t.Fatal("incomplete MDP evaluated")
+	}
+	if _, err := m.SolveLP(); err == nil {
+		t.Fatal("incomplete MDP LP-solved")
+	}
+}
+
+func TestEvaluatePolicyValidation(t *testing.T) {
+	m := twoStateCycle(t)
+	if _, err := m.EvaluatePolicy([]int{0}); err == nil {
+		t.Fatal("short policy accepted")
+	}
+	if _, err := m.EvaluatePolicy([]int{0, 9}); err == nil {
+		t.Fatal("bad action accepted")
+	}
+}
+
+// TestLagrangianFIThreshold reproduces the structural content of Theorem 1
+// through the generic machinery: for the full-information h-state MDP with
+// Lagrangian reward β_i − λ·ξ-cost for activation, the optimal policy is a
+// threshold in β_i.
+func TestLagrangianFIThreshold(t *testing.T) {
+	// Small renewal process with increasing hazards.
+	alpha := []float64{0.1, 0.2, 0.3, 0.4}
+	hazard := make([]float64, len(alpha))
+	surv := 1.0
+	for i, a := range alpha {
+		hazard[i] = a / surv
+		surv -= a
+	}
+	const delta1, delta2, lambda = 1.0, 6.0, 0.05
+
+	n := len(alpha)
+	m, err := New(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		h := hazard[i]
+		nextUp := i + 1
+		if nextUp >= n {
+			nextUp = n - 1 // β there is 1, so never actually reached with mass
+		}
+		outs := []Transition{{Next: 0, Prob: h}}
+		if h < 1 {
+			outs = append(outs, Transition{Next: nextUp, Prob: 1 - h})
+		}
+		// Active: reward = capture prob − λ·expected energy.
+		activeReward := h - lambda*(delta1+delta2*h)
+		if err := m.SetTransition(i, 1, outs, activeReward); err != nil {
+			t.Fatal(err)
+		}
+		// Inactive: same event dynamics (full information), zero reward.
+		if err := m.SetTransition(i, 0, outs, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol, err := m.RelativeValueIteration(1e-11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold structure: if the policy activates in a state, it must
+	// activate in every state with strictly larger hazard.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if sol.Policy[i] == 1 && hazard[j] > hazard[i]+1e-12 && sol.Policy[j] == 0 {
+				t.Fatalf("non-threshold policy: active at β=%v but idle at β=%v", hazard[i], hazard[j])
+			}
+		}
+	}
+	// With λ=0.05 and these hazards, activating at the top hazard must pay.
+	if sol.Policy[n-1] != 1 {
+		t.Fatal("optimal policy idles in the certain-event state")
+	}
+}
+
+func TestPolicyIterationKnownGain(t *testing.T) {
+	m := twoStateCycle(t)
+	sol, err := m.PolicyIteration(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Gain-2.5) > 1e-9 {
+		t.Fatalf("gain %v, want 2.5", sol.Gain)
+	}
+	if sol.Policy[0] != 1 {
+		t.Fatalf("policy at s0 = %d, want 1", sol.Policy[0])
+	}
+}
+
+// TestPolicyIterationAgreesWithRVI extends the three-way consistency to a
+// fourth solver on random unichain MDPs.
+func TestPolicyIterationAgreesWithRVI(t *testing.T) {
+	src := rng.New(47, 0)
+	for trial := 0; trial < 15; trial++ {
+		nS := 2 + src.Intn(6)
+		nA := 1 + src.Intn(3)
+		m, err := New(nS, nA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < nS; s++ {
+			for a := 0; a < nA; a++ {
+				probs := make([]float64, nS)
+				var total float64
+				for j := range probs {
+					probs[j] = src.Float64() + 0.05
+					total += probs[j]
+				}
+				outs := make([]Transition, nS)
+				for j := range probs {
+					outs[j] = Transition{Next: j, Prob: probs[j] / total}
+				}
+				if err := m.SetTransition(s, a, outs, src.Float64()*10); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		rvi, err := m.RelativeValueIteration(1e-11, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		pi, err := m.PolicyIteration(0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(rvi.Gain-pi.Gain) > 1e-7 {
+			t.Fatalf("trial %d: RVI gain %v != PI gain %v", trial, rvi.Gain, pi.Gain)
+		}
+	}
+}
+
+func TestPolicyIterationIncomplete(t *testing.T) {
+	m, err := New(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PolicyIteration(0); err == nil {
+		t.Fatal("incomplete MDP solved")
+	}
+}

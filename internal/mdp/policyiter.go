@@ -1,0 +1,85 @@
+package mdp
+
+import (
+	"fmt"
+
+	"eventcap/internal/numeric"
+)
+
+// PolicyIteration solves the average-reward problem by Howard's policy
+// iteration: evaluate the current policy's gain and bias exactly (linear
+// solve), then improve greedily; repeat until stable. For unichain MDPs
+// it terminates in finitely many steps and provides a third independent
+// solver alongside RelativeValueIteration and SolveLP.
+func (m *MDP) PolicyIteration(maxIter int) (*Solution, error) {
+	if err := m.checkComplete(); err != nil {
+		return nil, err
+	}
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	n := m.numStates
+	policy := make([]int, n)
+
+	for iter := 0; iter < maxIter; iter++ {
+		gain, bias, err := m.evaluateGainBias(policy)
+		if err != nil {
+			return nil, fmt.Errorf("policy evaluation at iteration %d: %w", iter, err)
+		}
+		// Improvement step.
+		changed := false
+		for s := 0; s < n; s++ {
+			bestA := policy[s]
+			bestV := m.actionValue(s, policy[s], bias)
+			for a := 0; a < m.numActions; a++ {
+				if a == policy[s] {
+					continue
+				}
+				if v := m.actionValue(s, a, bias); v > bestV+1e-10 {
+					bestV, bestA = v, a
+					changed = true
+				}
+			}
+			policy[s] = bestA
+		}
+		if !changed {
+			return &Solution{Gain: gain, Bias: bias, Policy: policy}, nil
+		}
+	}
+	return nil, fmt.Errorf("mdp: policy iteration did not converge in %d iterations", maxIter)
+}
+
+// actionValue returns r(s,a) + Σ p(s'|s,a)·bias(s').
+func (m *MDP) actionValue(s, a int, bias []float64) float64 {
+	v := m.reward[s][a]
+	for _, o := range m.trans[s][a] {
+		v += o.Prob * bias[o.Next]
+	}
+	return v
+}
+
+// evaluateGainBias solves the policy-evaluation equations
+// g + h(s) = r(s, π(s)) + Σ p(s'|s, π(s))·h(s'), with h(0) = 0, for the
+// unichain case: n+1 unknowns (g and h), n equations plus the
+// normalization.
+func (m *MDP) evaluateGainBias(policy []int) (float64, []float64, error) {
+	n := m.numStates
+	// Unknown vector x = (g, h_0, ..., h_{n-1}); equation for each state:
+	// g + h(s) − Σ p h(s') = r(s). Plus h_0 = 0.
+	a := numeric.NewMatrix(n+1, n+1)
+	b := make([]float64, n+1)
+	for s := 0; s < n; s++ {
+		a.Set(s, 0, 1)
+		a.Set(s, 1+s, a.At(s, 1+s)+1)
+		for _, o := range m.trans[s][policy[s]] {
+			a.Set(s, 1+o.Next, a.At(s, 1+o.Next)-o.Prob)
+		}
+		b[s] = m.reward[s][policy[s]]
+	}
+	a.Set(n, 1, 1) // h_0 = 0
+	x, err := numeric.SolveLinear(a, b)
+	if err != nil {
+		return 0, nil, err
+	}
+	return x[0], x[1:], nil
+}

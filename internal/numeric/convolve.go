@@ -1,0 +1,66 @@
+package numeric
+
+// Convolve returns the discrete convolution of a and b:
+// out[k] = Σ_i a[i]·b[k-i] for 0 <= k < len(a)+len(b)-1.
+// Either input may be empty, in which case the result is empty.
+func Convolve(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]float64, len(a)+len(b)-1)
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		for j, bv := range b {
+			out[i+j] += av * bv
+		}
+	}
+	return out
+}
+
+// ConvolveTrunc is Convolve truncated to the first n coefficients. It
+// avoids computing tail products that would be discarded, which matters
+// when repeatedly self-convolving long PMFs.
+func ConvolveTrunc(a, b []float64, n int) []float64 {
+	if n <= 0 || len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	if want := len(a) + len(b) - 1; n > want {
+		n = want
+	}
+	out := make([]float64, n)
+	for i, av := range a {
+		if i >= n {
+			break
+		}
+		if av == 0 {
+			continue
+		}
+		limit := n - i
+		if limit > len(b) {
+			limit = len(b)
+		}
+		for j := 0; j < limit; j++ {
+			out[i+j] += av * b[j]
+		}
+	}
+	return out
+}
+
+// SelfConvolvePowers returns p, p*p, ..., p^(*k) (k-fold self-convolutions
+// of the PMF p), each truncated to n coefficients. Index 0 of the result is
+// the 1-fold convolution (p itself, truncated).
+func SelfConvolvePowers(p []float64, k, n int) [][]float64 {
+	if k <= 0 {
+		return nil
+	}
+	out := make([][]float64, 0, k)
+	cur := ConvolveTrunc(p, []float64{1}, n)
+	out = append(out, cur)
+	for i := 1; i < k; i++ {
+		cur = ConvolveTrunc(cur, p, n)
+		out = append(out, cur)
+	}
+	return out
+}

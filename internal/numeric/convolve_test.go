@@ -1,0 +1,135 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"eventcap/internal/rng"
+)
+
+func almostEqualSlices(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestConvolveKnown(t *testing.T) {
+	got := Convolve([]float64{1, 2}, []float64{3, 4, 5})
+	want := []float64{3, 10, 13, 10}
+	if !almostEqualSlices(got, want, 1e-12) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestConvolveEmpty(t *testing.T) {
+	if got := Convolve(nil, []float64{1}); got != nil {
+		t.Fatalf("got %v, want nil", got)
+	}
+	if got := Convolve([]float64{1}, nil); got != nil {
+		t.Fatalf("got %v, want nil", got)
+	}
+}
+
+func TestConvolveIdentity(t *testing.T) {
+	a := []float64{0.5, 0.25, 0.25}
+	got := Convolve(a, []float64{1})
+	if !almostEqualSlices(got, a, 1e-15) {
+		t.Fatalf("convolution with delta changed input: %v", got)
+	}
+}
+
+func TestConvolveCommutative(t *testing.T) {
+	s := rng.New(1, 0)
+	for trial := 0; trial < 50; trial++ {
+		a := make([]float64, 1+s.Intn(10))
+		b := make([]float64, 1+s.Intn(10))
+		for i := range a {
+			a[i] = s.Float64()
+		}
+		for i := range b {
+			b[i] = s.Float64()
+		}
+		if !almostEqualSlices(Convolve(a, b), Convolve(b, a), 1e-12) {
+			t.Fatalf("convolution not commutative for %v, %v", a, b)
+		}
+	}
+}
+
+func TestConvolvePMFMassPreserved(t *testing.T) {
+	// The convolution of two PMFs is a PMF: total mass multiplies.
+	if err := quick.Check(func(seed uint64) bool {
+		s := rng.New(seed, 1)
+		a := randomPMF(s, 1+s.Intn(20))
+		b := randomPMF(s, 1+s.Intn(20))
+		c := Convolve(a, b)
+		return math.Abs(Sum(c)-1) < 1e-12
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomPMF(s *rng.Source, n int) []float64 {
+	p := make([]float64, n)
+	var total float64
+	for i := range p {
+		p[i] = s.Float64() + 1e-3
+		total += p[i]
+	}
+	for i := range p {
+		p[i] /= total
+	}
+	return p
+}
+
+func TestConvolveTruncMatchesFull(t *testing.T) {
+	s := rng.New(2, 0)
+	a := randomPMF(s, 8)
+	b := randomPMF(s, 5)
+	full := Convolve(a, b)
+	for n := 1; n <= len(full)+2; n++ {
+		got := ConvolveTrunc(a, b, n)
+		wantLen := n
+		if wantLen > len(full) {
+			wantLen = len(full)
+		}
+		if !almostEqualSlices(got, full[:wantLen], 1e-12) {
+			t.Fatalf("n=%d: got %v, want %v", n, got, full[:wantLen])
+		}
+	}
+}
+
+func TestConvolveTruncZeroN(t *testing.T) {
+	if got := ConvolveTrunc([]float64{1}, []float64{1}, 0); got != nil {
+		t.Fatalf("got %v, want nil", got)
+	}
+}
+
+func TestSelfConvolvePowers(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	powers := SelfConvolvePowers(p, 3, 10)
+	if len(powers) != 3 {
+		t.Fatalf("got %d powers, want 3", len(powers))
+	}
+	if !almostEqualSlices(powers[0], p, 1e-15) {
+		t.Fatalf("first power %v != p", powers[0])
+	}
+	if !almostEqualSlices(powers[1], []float64{0.25, 0.5, 0.25}, 1e-15) {
+		t.Fatalf("second power %v", powers[1])
+	}
+	if !almostEqualSlices(powers[2], []float64{0.125, 0.375, 0.375, 0.125}, 1e-15) {
+		t.Fatalf("third power %v", powers[2])
+	}
+}
+
+func TestSelfConvolvePowersZeroK(t *testing.T) {
+	if got := SelfConvolvePowers([]float64{1}, 0, 5); got != nil {
+		t.Fatalf("got %v, want nil", got)
+	}
+}

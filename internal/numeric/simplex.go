@@ -1,0 +1,366 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is the sense of a linear constraint.
+type Relation int
+
+// Constraint senses. Enums start at 1 so the zero value is invalid.
+const (
+	LessEq Relation = iota + 1
+	Equal
+	GreaterEq
+)
+
+func (r Relation) String() string {
+	switch r {
+	case LessEq:
+		return "<="
+	case Equal:
+		return "="
+	case GreaterEq:
+		return ">="
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// LP solver errors.
+var (
+	ErrInfeasible = errors.New("numeric: linear program is infeasible")
+	ErrUnbounded  = errors.New("numeric: linear program is unbounded")
+)
+
+type lpConstraint struct {
+	coef []float64
+	rel  Relation
+	rhs  float64
+}
+
+// LP is a linear program over nonnegative variables:
+//
+//	maximize (or minimize) c·x
+//	subject to A x {<=,=,>=} b, x >= 0.
+//
+// Upper bounds such as x_i <= 1 are expressed as ordinary constraints.
+// Solve uses the two-phase tableau simplex method with Bland's rule, which
+// is adequate for the problem sizes in this library (hundreds of
+// variables).
+type LP struct {
+	numVars     int
+	objective   []float64
+	maximize    bool
+	constraints []lpConstraint
+}
+
+// NewLP creates a linear program with numVars nonnegative variables and a
+// zero objective (maximization by default).
+func NewLP(numVars int) *LP {
+	if numVars <= 0 {
+		panic("numeric: LP needs at least one variable")
+	}
+	return &LP{
+		numVars:   numVars,
+		objective: make([]float64, numVars),
+		maximize:  true,
+	}
+}
+
+// SetObjective sets the objective coefficients and direction. The slice is
+// copied. It panics if len(c) != numVars.
+func (l *LP) SetObjective(c []float64, maximize bool) {
+	if len(c) != l.numVars {
+		panic(fmt.Sprintf("numeric: objective has %d coefficients, want %d", len(c), l.numVars))
+	}
+	copy(l.objective, c)
+	l.maximize = maximize
+}
+
+// AddConstraint appends the constraint coef·x rel rhs. The coefficient
+// slice is copied. It panics if len(coef) != numVars or rel is invalid.
+func (l *LP) AddConstraint(coef []float64, rel Relation, rhs float64) {
+	if len(coef) != l.numVars {
+		panic(fmt.Sprintf("numeric: constraint has %d coefficients, want %d", len(coef), l.numVars))
+	}
+	if rel != LessEq && rel != Equal && rel != GreaterEq {
+		panic("numeric: invalid constraint relation")
+	}
+	c := make([]float64, len(coef))
+	copy(c, coef)
+	l.constraints = append(l.constraints, lpConstraint{coef: c, rel: rel, rhs: rhs})
+}
+
+// LPSolution is the result of LP.Solve.
+type LPSolution struct {
+	X         []float64 // optimal variable values, length numVars
+	Objective float64   // optimal objective value (in the user's direction)
+}
+
+const lpEps = 1e-9
+
+// Solve optimizes the program. It returns ErrInfeasible or ErrUnbounded
+// when appropriate.
+func (l *LP) Solve() (*LPSolution, error) {
+	m := len(l.constraints)
+	n := l.numVars
+
+	// Normalize rows so every rhs is nonnegative, then count auxiliary
+	// columns: one slack per <=, one surplus per >=, one artificial per
+	// >= or =.
+	type rowSpec struct {
+		coef       []float64
+		rel        Relation
+		rhs        float64
+		slack      int // column index or -1
+		artificial int // column index or -1
+	}
+	rows := make([]rowSpec, m)
+	numSlack, numArt := 0, 0
+	for i, c := range l.constraints {
+		coef := make([]float64, n)
+		copy(coef, c.coef)
+		rel, rhs := c.rel, c.rhs
+		if rhs < 0 {
+			for j := range coef {
+				coef[j] = -coef[j]
+			}
+			rhs = -rhs
+			switch rel {
+			case LessEq:
+				rel = GreaterEq
+			case GreaterEq:
+				rel = LessEq
+			}
+		}
+		rows[i] = rowSpec{coef: coef, rel: rel, rhs: rhs, slack: -1, artificial: -1}
+		switch rel {
+		case LessEq, GreaterEq:
+			numSlack++
+		}
+		if rel != LessEq {
+			numArt++
+		}
+	}
+
+	total := n + numSlack + numArt
+	// Tableau: m rows of [coefficients | rhs]; column total is rhs.
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	slackCol, artCol := n, n+numSlack
+	for i := range rows {
+		row := make([]float64, total+1)
+		copy(row, rows[i].coef)
+		row[total] = rows[i].rhs
+		switch rows[i].rel {
+		case LessEq:
+			row[slackCol] = 1
+			rows[i].slack = slackCol
+			basis[i] = slackCol
+			slackCol++
+		case GreaterEq:
+			row[slackCol] = -1
+			rows[i].slack = slackCol
+			slackCol++
+			row[artCol] = 1
+			rows[i].artificial = artCol
+			basis[i] = artCol
+			artCol++
+		case Equal:
+			row[artCol] = 1
+			rows[i].artificial = artCol
+			basis[i] = artCol
+			artCol++
+		}
+		tab[i] = row
+	}
+
+	if numArt > 0 {
+		// Phase 1: minimize the sum of artificial variables, i.e.
+		// maximize -Σ artificials.
+		obj := make([]float64, total)
+		for j := n + numSlack; j < total; j++ {
+			obj[j] = -1
+		}
+		value, err := simplexIterate(tab, basis, obj)
+		if err != nil {
+			return nil, fmt.Errorf("phase 1: %w", err)
+		}
+		if value < -lpEps {
+			return nil, ErrInfeasible
+		}
+		// Drive any artificial variables remaining in the basis out of
+		// it (they must be at zero level).
+		for i, b := range basis {
+			if b < n+numSlack {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+numSlack; j++ {
+				if math.Abs(tab[i][j]) > lpEps {
+					pivot(tab, basis, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: zero it so it cannot affect phase 2.
+				for j := range tab[i] {
+					tab[i][j] = 0
+				}
+			}
+		}
+	}
+
+	// Phase 2: optimize the real objective over structural and slack
+	// columns, forbidding artificial columns.
+	obj := make([]float64, total)
+	for j := 0; j < n; j++ {
+		if l.maximize {
+			obj[j] = l.objective[j]
+		} else {
+			obj[j] = -l.objective[j]
+		}
+	}
+	for i := range tab {
+		// Make artificial columns unusable.
+		for j := n + numSlack; j < total; j++ {
+			tab[i][j] = 0
+		}
+	}
+	value, err := simplexIterate(tab, basis, obj)
+	if err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = tab[i][total]
+		}
+	}
+	if !l.maximize {
+		value = -value
+	}
+	return &LPSolution{X: x, Objective: value}, nil
+}
+
+// simplexIterate runs primal simplex on the tableau with the given
+// objective (always maximization), updating basis in place. It returns the
+// optimal objective value.
+func simplexIterate(tab [][]float64, basis []int, obj []float64) (float64, error) {
+	m := len(tab)
+	if m == 0 {
+		return 0, nil
+	}
+	total := len(tab[0]) - 1
+
+	// Reduced costs z_j - c_j maintained in a working row.
+	zRow := make([]float64, total+1)
+	recompute := func() {
+		for j := 0; j <= total; j++ {
+			var sum KahanSum
+			for i := 0; i < m; i++ {
+				cb := 0.0
+				if basis[i] < total {
+					cb = obj[basis[i]]
+				}
+				if cb != 0 {
+					sum.Add(cb * tab[i][j])
+				}
+			}
+			zRow[j] = sum.Value()
+			if j < total {
+				zRow[j] -= obj[j]
+			}
+		}
+	}
+	recompute()
+
+	for iter := 0; ; iter++ {
+		if iter > 50000 {
+			return 0, errors.New("numeric: simplex iteration limit exceeded")
+		}
+		// Entering column: most negative reduced cost (Dantzig), falling
+		// back to Bland's rule periodically to guarantee termination.
+		enter := -1
+		if iter%64 == 63 {
+			for j := 0; j < total; j++ {
+				if zRow[j] < -lpEps {
+					enter = j
+					break
+				}
+			}
+		} else {
+			best := -lpEps
+			for j := 0; j < total; j++ {
+				if zRow[j] < best {
+					best = zRow[j]
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			return zRow[total], nil
+		}
+		// Leaving row: minimum ratio test, Bland tie-break on basis index.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := tab[i][enter]
+			if a <= lpEps {
+				continue
+			}
+			ratio := tab[i][total] / a
+			if ratio < bestRatio-lpEps || (ratio < bestRatio+lpEps && (leave == -1 || basis[i] < basis[leave])) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return 0, ErrUnbounded
+		}
+		pivot(tab, basis, leave, enter)
+		// Update the reduced-cost row by the same elimination.
+		factor := zRow[enter]
+		if factor != 0 {
+			for j := 0; j <= total; j++ {
+				zRow[j] -= factor * tab[leave][j]
+			}
+			zRow[enter] = 0
+		}
+		if iter%256 == 255 {
+			recompute() // refresh against drift on long runs
+		}
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot on tab[row][col] and records col as
+// basic in row.
+func pivot(tab [][]float64, basis []int, row, col int) {
+	pr := tab[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := range pr {
+		pr[j] *= inv
+	}
+	pr[col] = 1
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := tab[i]
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0
+	}
+	basis[row] = col
+}

@@ -1,0 +1,280 @@
+package renewal
+
+import (
+	"math"
+	"testing"
+
+	"eventcap/internal/dist"
+	"eventcap/internal/numeric"
+	"eventcap/internal/rng"
+)
+
+func mustProcess(t *testing.T, alpha []float64) *Process {
+	t.Helper()
+	p, err := New(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func fromDist(t *testing.T, d dist.Interarrival) *Process {
+	t.Helper()
+	tab, err := dist.Tabulate(d, 1e-12, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mustProcess(t, tab.Alpha)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty PMF accepted")
+	}
+	if _, err := New([]float64{0.5, 0.4}); err == nil {
+		t.Fatal("sub-stochastic PMF accepted")
+	}
+	if _, err := New([]float64{1.2, -0.2}); err == nil {
+		t.Fatal("negative PMF accepted")
+	}
+}
+
+func TestDeterministicMass(t *testing.T) {
+	// X = 3 always: renewals at exactly 3, 6, 9, ...
+	p := mustProcess(t, []float64{0, 0, 1})
+	for tt := 1; tt <= 30; tt++ {
+		want := 0.0
+		if tt%3 == 0 {
+			want = 1
+		}
+		if got := p.Mass(tt); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Mass(%d)=%v, want %v", tt, got, want)
+		}
+	}
+	if p.Mass(0) != 1 || p.Mass(-1) != 0 {
+		t.Fatal("Mass boundary conventions violated")
+	}
+}
+
+func TestGeometricMassConstant(t *testing.T) {
+	// Memoryless: every slot is a renewal with probability p,
+	// independent of history, so m(t) = p for all t >= 1.
+	g, err := dist.NewGeometric(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fromDist(t, g)
+	for tt := 1; tt <= 200; tt++ {
+		if got := p.Mass(tt); math.Abs(got-0.3) > 1e-9 {
+			t.Fatalf("Mass(%d)=%v, want 0.3", tt, got)
+		}
+	}
+}
+
+func TestElementaryRenewalTheorem(t *testing.T) {
+	w, err := dist.NewWeibull(40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fromDist(t, w)
+	// m(t) -> 1/μ.
+	limit := p.LimitRate()
+	avg := 0.0
+	const from, to = 2000, 3000
+	for tt := from; tt < to; tt++ {
+		avg += p.Mass(tt)
+	}
+	avg /= to - from
+	if math.Abs(avg-limit) > 1e-6 {
+		t.Fatalf("mass average %v, limit %v", avg, limit)
+	}
+	// M(T)/T -> 1/μ.
+	T := 50000
+	if got := p.ExpectedCount(T) / float64(T); math.Abs(got-limit) > 1e-3 {
+		t.Fatalf("M(T)/T=%v, want %v", got, limit)
+	}
+}
+
+func TestExpectedCountMonotone(t *testing.T) {
+	u, err := dist.NewUniformInt(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fromDist(t, u)
+	prev := 0.0
+	for T := 1; T <= 100; T++ {
+		got := p.ExpectedCount(T)
+		if got < prev-1e-12 {
+			t.Fatalf("ExpectedCount decreased at %d", T)
+		}
+		prev = got
+	}
+	if p.ExpectedCount(0) != 0 {
+		t.Fatal("ExpectedCount(0) != 0")
+	}
+}
+
+func TestMassMatchesMonteCarlo(t *testing.T) {
+	e, err := dist.NewEmpirical([]float64{0.2, 0.5, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fromDist(t, e)
+	src := rng.New(99, 0)
+	const trials = 300000
+	const horizon = 12
+	counts := make([]int, horizon+1)
+	for k := 0; k < trials; k++ {
+		t0 := 0
+		for t0 <= horizon {
+			t0 += e.Sample(src)
+			if t0 <= horizon {
+				counts[t0]++
+			}
+		}
+	}
+	for tt := 1; tt <= horizon; tt++ {
+		got := float64(counts[tt]) / trials
+		want := p.Mass(tt)
+		sigma := math.Sqrt(want*(1-want)/trials) + 1e-9
+		if math.Abs(got-want) > 6*sigma {
+			t.Errorf("Mass(%d): MC %v vs analytic %v", tt, got, want)
+		}
+	}
+}
+
+func TestResidualPMFAtZeroIsAlpha(t *testing.T) {
+	alpha := []float64{0.1, 0.2, 0.3, 0.4}
+	p := mustProcess(t, alpha)
+	for x := 1; x <= 4; x++ {
+		if got := p.ResidualPMF(0, x); math.Abs(got-alpha[x-1]) > 1e-12 {
+			t.Fatalf("ResidualPMF(0,%d)=%v, want %v", x, got, alpha[x-1])
+		}
+	}
+	if p.ResidualPMF(0, 0) != 0 || p.ResidualPMF(-1, 1) != 0 {
+		t.Fatal("residual boundary conventions violated")
+	}
+}
+
+func TestResidualPMFSumsToOne(t *testing.T) {
+	u, err := dist.NewUniformInt(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fromDist(t, u)
+	for _, tt := range []int{0, 1, 3, 10, 50} {
+		var sum numeric.KahanSum
+		for x := 1; x <= p.MaxSupport()+1; x++ {
+			sum.Add(p.ResidualPMF(tt, x))
+		}
+		if got := sum.Value(); math.Abs(got-1) > 1e-10 {
+			t.Fatalf("residual pmf at t=%d sums to %v", tt, got)
+		}
+	}
+}
+
+func TestResidualCDFMonotoneAndCapped(t *testing.T) {
+	w, err := dist.NewWeibull(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fromDist(t, w)
+	prev := 0.0
+	for x := 1; x <= 60; x++ {
+		got := p.ResidualCDF(7, x)
+		if got < prev-1e-12 || got > 1 {
+			t.Fatalf("ResidualCDF(7,%d)=%v not monotone in [0,1]", x, got)
+		}
+		prev = got
+	}
+	if p.ResidualCDF(7, 0) != 0 {
+		t.Fatal("ResidualCDF(t,0) != 0")
+	}
+}
+
+func TestResidualHazardGeometricConstant(t *testing.T) {
+	g, err := dist.NewGeometric(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fromDist(t, g)
+	for _, tt := range []int{0, 1, 5, 40} {
+		if got := p.ResidualHazard(tt); math.Abs(got-0.25) > 1e-9 {
+			t.Fatalf("ResidualHazard(%d)=%v, want 0.25", tt, got)
+		}
+	}
+}
+
+// TestResidualMatchesMassIdentity checks ψ_t(1) == m(t+1) by definition of
+// both quantities.
+func TestResidualMatchesMassIdentity(t *testing.T) {
+	e, err := dist.NewEmpirical([]float64{0.4, 0.1, 0.1, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fromDist(t, e)
+	for tt := 0; tt <= 40; tt++ {
+		if got, want := p.ResidualHazard(tt), p.Mass(tt+1); math.Abs(got-want) > 1e-10 {
+			t.Fatalf("ψ_%d(1)=%v != m(%d)=%v", tt, got, tt+1, want)
+		}
+	}
+}
+
+func BenchmarkMassWeibull(b *testing.B) {
+	w, err := dist.NewWeibull(40, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, err := dist.Tabulate(w, 1e-12, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := New(tab.Alpha)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = p.ExpectedCount(5000)
+	}
+}
+
+func TestEquilibriumAgeSumsToOne(t *testing.T) {
+	u, err := dist.NewUniformInt(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fromDist(t, u)
+	eq := p.EquilibriumAge()
+	var sum numeric.KahanSum
+	for _, v := range eq {
+		if v < 0 {
+			t.Fatal("negative equilibrium mass")
+		}
+		sum.Add(v)
+	}
+	if math.Abs(sum.Value()-1) > 1e-9 {
+		t.Fatalf("equilibrium age distribution sums to %v", sum.Value())
+	}
+	// Hazard under equilibrium: Σ P(age=j)·β_j must equal 1/μ.
+	var hz numeric.KahanSum
+	for j, w := range eq {
+		hz.Add(w * u.Hazard(j+1))
+	}
+	if math.Abs(hz.Value()-p.EquilibriumHazard()) > 1e-9 {
+		t.Fatalf("equilibrium hazard %v, want %v", hz.Value(), p.EquilibriumHazard())
+	}
+}
+
+// TestEquilibriumMatchesLongRunMass: the renewal mass function converges
+// to the equilibrium hazard.
+func TestEquilibriumMatchesLongRunMass(t *testing.T) {
+	e, err := dist.NewEmpirical([]float64{0.3, 0.2, 0.2, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fromDist(t, e)
+	if got, want := p.Mass(5000), p.EquilibriumHazard(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("long-run mass %v, equilibrium hazard %v", got, want)
+	}
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"eventcap/internal/core"
+	"eventcap/internal/dist"
+)
+
+func multiPoIDists(t testing.TB) []dist.Interarrival {
+	t.Helper()
+	w1 := mustWeibull(t, 40, 3)
+	w2 := mustWeibull(t, 25, 2)
+	u, err := dist.NewUniformInt(10, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []dist.Interarrival{w1, w2, u}
+}
+
+// TestMultiPoIAnalyticMatchesSim: the equilibrium-age calibration of the
+// threshold index policy predicts the simulated QoM and energy use.
+func TestMultiPoIAnalyticMatchesSim(t *testing.T) {
+	dists := multiPoIDists(t)
+	p := core.DefaultParams()
+	const e = 0.4
+	cal, err := core.OptimizeMultiPoI(dists, e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.EnergyRate > e*(1+1e-6)+1e-9 {
+		t.Fatalf("calibrated energy %v exceeds budget", cal.EnergyRate)
+	}
+	res, err := RunMultiPoI(MultiPoIConfig{
+		Dists:       dists,
+		Params:      p,
+		NewRecharge: bernoulliFactory(t, 0.5, e/0.5),
+		Policy:      &MaxHazardThreshold{Dists: dists, Threshold: cal.Threshold},
+		BatteryCap:  1000,
+		Slots:       1_000_000,
+		Seed:        9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.QoM-cal.CaptureProb) > 0.04 {
+		t.Fatalf("simulated QoM %v vs analytic %v", res.QoM, cal.CaptureProb)
+	}
+	// Total event rate must match the analytic one.
+	gotRate := float64(res.Events) / float64(res.Slots)
+	if math.Abs(gotRate-cal.EventRate) > 0.05*cal.EventRate {
+		t.Fatalf("event rate %v vs analytic %v", gotRate, cal.EventRate)
+	}
+}
+
+// TestMultiPoIThresholdBeatsRoundRobin: exploiting hazards across streams
+// must beat blind cycling at equal energy.
+func TestMultiPoIThresholdBeatsRoundRobin(t *testing.T) {
+	dists := multiPoIDists(t)
+	p := core.DefaultParams()
+	const e = 0.4
+	cal, err := core.OptimizeMultiPoI(dists, e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(pol PoIPolicy, seed uint64) float64 {
+		res, err := RunMultiPoI(MultiPoIConfig{
+			Dists:       dists,
+			Params:      p,
+			NewRecharge: bernoulliFactory(t, 0.5, e/0.5),
+			Policy:      pol,
+			BatteryCap:  1000,
+			Slots:       800_000,
+			Seed:        seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.QoM
+	}
+	idx := run(&MaxHazardThreshold{Dists: dists, Threshold: cal.Threshold}, 1)
+	// Round robin with the duty the same energy could sustain blindly.
+	duty := e / p.SaturationRate(20) // rough per-slot affordability
+	rr := run(&RoundRobinPoI{M: len(dists), Duty: duty}, 2)
+	if idx < rr+0.05 {
+		t.Fatalf("index policy %v not clearly above round robin %v", idx, rr)
+	}
+}
+
+func TestMultiPoIValidation(t *testing.T) {
+	p := core.DefaultParams()
+	if _, err := RunMultiPoI(MultiPoIConfig{Params: p}); err == nil {
+		t.Fatal("empty PoI list accepted")
+	}
+	dists := multiPoIDists(t)
+	if _, err := RunMultiPoI(MultiPoIConfig{Dists: dists, Params: core.Params{}}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	if _, err := RunMultiPoI(MultiPoIConfig{Dists: dists, Params: p}); err == nil {
+		t.Fatal("missing recharge/policy accepted")
+	}
+	cfg := MultiPoIConfig{
+		Dists:       dists,
+		Params:      p,
+		NewRecharge: constantFactory(t, 0.5),
+		Policy:      &RoundRobinPoI{M: 3, Duty: 0.5},
+		BatteryCap:  0,
+		Slots:       100,
+	}
+	if _, err := RunMultiPoI(cfg); err == nil {
+		t.Fatal("zero battery accepted")
+	}
+}
+
+func TestOptimizeMultiPoIValidation(t *testing.T) {
+	p := core.DefaultParams()
+	if _, err := core.OptimizeMultiPoI(nil, 0.5, p); err == nil {
+		t.Fatal("no PoIs accepted")
+	}
+	dists := multiPoIDists(t)
+	if _, err := core.OptimizeMultiPoI(dists, -1, p); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := core.OptimizeMultiPoI(dists, 0.5, core.Params{}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+// TestMultiPoISinglePoIConsistency: with one PoI the index policy reduces
+// to a threshold on the equilibrium hazard; its analytic QoM must lie
+// within [0, FI optimum].
+func TestMultiPoISinglePoIConsistency(t *testing.T) {
+	d := mustWeibull(t, 40, 3)
+	p := core.DefaultParams()
+	const e = 0.5
+	cal, err := core.OptimizeMultiPoI([]dist.Interarrival{d}, e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := core.GreedyFI(d, e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.CaptureProb > fi.CaptureProb+1e-6 {
+		t.Fatalf("threshold policy %v beats the FI optimum %v", cal.CaptureProb, fi.CaptureProb)
+	}
+	if cal.CaptureProb <= 0 {
+		t.Fatalf("degenerate capture probability %v", cal.CaptureProb)
+	}
+}

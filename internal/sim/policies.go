@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"fmt"
+
+	"eventcap/internal/core"
+)
+
+// VectorFI executes an activation Vector against the full-information
+// state h_i (slots since the last event) — the runtime form of the greedy
+// policy π*_FI of Theorem 1.
+type VectorFI struct {
+	Vector core.Vector
+	Label  string
+}
+
+var _ Policy = (*VectorFI)(nil)
+
+// Name implements Policy.
+func (v *VectorFI) Name() string {
+	if v.Label != "" {
+		return v.Label
+	}
+	return "vector-fi"
+}
+
+// ActivationProb implements Policy.
+func (v *VectorFI) ActivationProb(s SlotState) float64 {
+	if s.SinceEvent < 0 {
+		// Full information unavailable: fail safe by sleeping.
+		return 0
+	}
+	return v.Vector.At(s.SinceEvent)
+}
+
+// Observe implements Policy (stateless).
+func (v *VectorFI) Observe(Outcome) {}
+
+// Reset implements Policy (stateless).
+func (v *VectorFI) Reset() {}
+
+// VectorPI executes an activation Vector against the partial-information
+// state f_i (slots since the last captured event) — the runtime form of
+// the clustering policy π'_PI and of the belief-threshold policy's
+// induced vector.
+type VectorPI struct {
+	Vector core.Vector
+	Label  string
+}
+
+var _ Policy = (*VectorPI)(nil)
+
+// Name implements Policy.
+func (v *VectorPI) Name() string {
+	if v.Label != "" {
+		return v.Label
+	}
+	return "vector-pi"
+}
+
+// ActivationProb implements Policy.
+func (v *VectorPI) ActivationProb(s SlotState) float64 {
+	return v.Vector.At(s.SinceCapture)
+}
+
+// Observe implements Policy (stateless).
+func (v *VectorPI) Observe(Outcome) {}
+
+// Reset implements Policy (stateless).
+func (v *VectorPI) Reset() {}
+
+// Aggressive is the paper's π_AG baseline: activate whenever the energy
+// gate B_t >= δ1 + δ2 allows (the gate itself is enforced by the engine).
+type Aggressive struct{}
+
+var _ Policy = (*Aggressive)(nil)
+
+// Name implements Policy.
+func (Aggressive) Name() string { return "aggressive" }
+
+// ActivationProb implements Policy.
+func (Aggressive) ActivationProb(SlotState) float64 { return 1 }
+
+// Observe implements Policy.
+func (Aggressive) Observe(Outcome) {}
+
+// Reset implements Policy.
+func (Aggressive) Reset() {}
+
+// Periodic is the paper's π_PE baseline: θ1 active slots in every window
+// of θ2 slots, positionally on the absolute slot number. Combined with
+// ModeBlocks and BlockLen = θ2 this realizes the multi-sensor periodic
+// scheme of Section VI-B.
+type Periodic struct {
+	Theta1, Theta2 int
+}
+
+var _ Policy = (*Periodic)(nil)
+
+// NewPeriodic builds the baseline, rounding the real-valued θ2 up so the
+// policy never overdraws its energy budget.
+func NewPeriodic(theta1 int, theta2 float64) (*Periodic, error) {
+	if theta1 < 1 {
+		return nil, fmt.Errorf("sim: θ1 must be >= 1, got %d", theta1)
+	}
+	t2 := int(theta2)
+	if float64(t2) < theta2 {
+		t2++
+	}
+	if t2 < theta1 {
+		t2 = theta1
+	}
+	return &Periodic{Theta1: theta1, Theta2: t2}, nil
+}
+
+// Name implements Policy.
+func (p *Periodic) Name() string { return fmt.Sprintf("periodic(%d/%d)", p.Theta1, p.Theta2) }
+
+// ActivationProb implements Policy.
+func (p *Periodic) ActivationProb(s SlotState) float64 {
+	if int((s.Slot-1)%int64(p.Theta2)) < p.Theta1 {
+		return 1
+	}
+	return 0
+}
+
+// Observe implements Policy.
+func (p *Periodic) Observe(Outcome) {}
+
+// Reset implements Policy.
+func (p *Periodic) Reset() {}
+
+// EBCW is the runtime form of the last-observation policy class of Jaggi
+// et al. [6] (see core.OptimizeEBCW): activate with probability PYes
+// while the most recent observation was an event, PNo otherwise.
+type EBCW struct {
+	PYes, PNo float64
+
+	lastObsEvent bool
+}
+
+var _ Policy = (*EBCW)(nil)
+
+// NewEBCW wraps an optimized core.EBCWPolicy for execution.
+func NewEBCW(pol *core.EBCWPolicy) *EBCW {
+	return &EBCW{PYes: pol.PYes, PNo: pol.PNo, lastObsEvent: true}
+}
+
+// Name implements Policy.
+func (e *EBCW) Name() string { return fmt.Sprintf("ebcw(y=%.3f,n=%.3f)", e.PYes, e.PNo) }
+
+// ActivationProb implements Policy.
+func (e *EBCW) ActivationProb(SlotState) float64 {
+	if e.lastObsEvent {
+		return e.PYes
+	}
+	return e.PNo
+}
+
+// Observe implements Policy: only active slots yield observations.
+func (e *EBCW) Observe(o Outcome) {
+	if o.Active && o.EventKnown {
+		e.lastObsEvent = o.Event
+	}
+}
+
+// Reset implements Policy: the paper assumes a captured event at slot 0.
+func (e *EBCW) Reset() { e.lastObsEvent = true }

@@ -1,0 +1,431 @@
+// Package sim is the slotted discrete-event simulator that measures the
+// practical QoM U_K(π) of activation policies: real batteries of capacity
+// K, stochastic recharge, and full- or partial-information observation —
+// exactly the setting of the paper's Section VI, including the
+// multi-sensor coordination schemes of Section V.
+//
+// The per-slot sequence follows the paper's Figure 1: recharge completes,
+// the sensor(s) decide, then the event (if any) occurs.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"eventcap/internal/core"
+	"eventcap/internal/dist"
+	"eventcap/internal/energy"
+	"eventcap/internal/rng"
+)
+
+// Info selects the observation model.
+type Info int
+
+// Observation models (Section III-B).
+const (
+	// FullInfo: every sensor learns after the fact whether an event
+	// occurred in each slot, active or not.
+	FullInfo Info = iota + 1
+	// PartialInfo: a sensor learns about an event only by being active
+	// in its slot (coordinated modes broadcast captures).
+	PartialInfo
+)
+
+// Mode selects how multiple sensors share the work.
+type Mode int
+
+// Coordination modes (Section V and VI-B).
+const (
+	// ModeAll runs every sensor in every slot, independently (the
+	// uncoordinated baseline of Section V's opening).
+	ModeAll Mode = iota + 1
+	// ModeRoundRobin puts sensor s in charge of slots t = kN + s; all
+	// others stay inactive (M-FI / M-PI and the multi-sensor aggressive
+	// baseline).
+	ModeRoundRobin
+	// ModeBlocks rotates charge in blocks of BlockLen consecutive slots
+	// (the multi-sensor periodic baseline: each sensor runs θ1-of-θ2
+	// within its own block).
+	ModeBlocks
+)
+
+// SlotState is what a policy may observe when deciding.
+type SlotState struct {
+	// Slot is the 1-based absolute slot number.
+	Slot int64
+	// SinceEvent is the full-information state h_i: slots since the last
+	// event occurrence. It is -1 under PartialInfo.
+	SinceEvent int
+	// SinceCapture is the partial-information state f_i: slots since the
+	// last captured event (shared via broadcast in coordinated modes,
+	// per-sensor otherwise).
+	SinceCapture int
+	// Battery is the deciding sensor's energy level after recharge.
+	Battery float64
+}
+
+// Outcome reports a slot's result back to the policy that decided it.
+type Outcome struct {
+	// Active reports whether the sensor actually activated.
+	Active bool
+	// EventKnown reports whether the event indicator below is
+	// trustworthy (always under FullInfo, only when active otherwise).
+	EventKnown bool
+	// Event reports the event occurrence (meaningful iff EventKnown).
+	Event bool
+	// Captured reports Active && Event.
+	Captured bool
+}
+
+// Policy is a runtime activation policy. Implementations may be stateful
+// (EBCW's last-observation memory); each sensor gets its own instance.
+type Policy interface {
+	// Name identifies the policy in results.
+	Name() string
+	// ActivationProb returns the probability of choosing the active
+	// action given the observable state. The engine enforces the energy
+	// gate (B >= δ1+δ2) on top of it.
+	ActivationProb(s SlotState) float64
+	// Observe reports the slot's outcome (only for slots this sensor was
+	// in charge of).
+	Observe(o Outcome)
+	// Reset restores initial state for a fresh run.
+	Reset()
+}
+
+// TraceRecord is one slot of an optional execution trace.
+type TraceRecord struct {
+	Slot         int64
+	InCharge     int // 0-based sensor index; -1 when all sensors decide
+	Event        bool
+	SinceEvent   int
+	SinceCapture int
+	Actions      []bool // per-sensor activation this slot
+	Captured     bool
+}
+
+// SensorStats accumulates per-sensor accounting.
+type SensorStats struct {
+	Activations    int64
+	Captures       int64
+	Denied         int64 // activation decisions blocked by the energy gate
+	EnergyConsumed float64
+	OverflowLost   float64
+	FinalBattery   float64
+}
+
+// TimelinePoint is a periodic snapshot of the run's progress.
+type TimelinePoint struct {
+	Slot int64
+	// QoM is the running capture probability through this slot.
+	QoM float64
+	// WindowQoM is the capture probability within the last sampling
+	// window only (for stationarity checks and batch-means CIs).
+	WindowQoM float64
+	// Battery is sensor 0's level at the snapshot.
+	Battery float64
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	Slots    int64
+	Events   int64
+	Captures int64 // slots where at least one sensor captured
+	// QoM is the capture probability U_K(π) of Eq. (1).
+	QoM     float64
+	Sensors []SensorStats
+	// Timeline holds periodic snapshots when Config.SampleEvery > 0.
+	Timeline []TimelinePoint
+}
+
+// LoadImbalance returns (max − min)/mean of per-sensor activation counts:
+// 0 is perfect balance (Section V-A's load-balancing concern). It returns
+// 0 when no sensor activated.
+func (r *Result) LoadImbalance() float64 {
+	if len(r.Sensors) == 0 {
+		return 0
+	}
+	minA, maxA, total := int64(math.MaxInt64), int64(0), int64(0)
+	for _, s := range r.Sensors {
+		if s.Activations < minA {
+			minA = s.Activations
+		}
+		if s.Activations > maxA {
+			maxA = s.Activations
+		}
+		total += s.Activations
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(r.Sensors))
+	return float64(maxA-minA) / mean
+}
+
+// Config describes a simulation run. NewRecharge and NewPolicy are
+// factories so each sensor owns independent (possibly stateful)
+// instances.
+type Config struct {
+	Dist   dist.Interarrival
+	Params core.Params
+
+	// NewRecharge builds the recharge process for one sensor.
+	NewRecharge func() energy.Recharge
+	// NewPolicy builds the policy for sensor index s (0-based).
+	NewPolicy func(s int) Policy
+
+	// N is the number of sensors (default 1).
+	N int
+	// Mode is the coordination mode (default ModeAll).
+	Mode Mode
+	// BlockLen is the block size for ModeBlocks.
+	BlockLen int
+
+	// BatteryCap is K. InitialBattery defaults to K/2 when zero (the
+	// paper's setting).
+	BatteryCap     float64
+	InitialBattery float64
+
+	// Slots is the duration T.
+	Slots int64
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed uint64
+	// Info is the observation model (default FullInfo).
+	Info Info
+
+	// Trace, if set, receives every slot's record. Use only with small
+	// Slots.
+	Trace func(TraceRecord)
+
+	// FailAt, if non-nil, maps a 0-based sensor index to the slot at
+	// which that sensor dies permanently (stops deciding, recharging and
+	// observing) — fault injection for resilience experiments. Failed
+	// sensors keep their slot assignments in coordinated modes, which is
+	// exactly the fragility being measured.
+	FailAt map[int]int64
+
+	// SampleEvery, when positive, records a TimelinePoint every that
+	// many slots (running QoM, per-window QoM, battery level).
+	SampleEvery int64
+}
+
+func (c *Config) validate() error {
+	if c.Dist == nil {
+		return fmt.Errorf("sim: Config.Dist is required")
+	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.NewRecharge == nil {
+		return fmt.Errorf("sim: Config.NewRecharge is required")
+	}
+	if c.NewPolicy == nil {
+		return fmt.Errorf("sim: Config.NewPolicy is required")
+	}
+	if c.N == 0 {
+		c.N = 1
+	}
+	if c.N < 1 {
+		return fmt.Errorf("sim: N must be >= 1, got %d", c.N)
+	}
+	if c.Mode == 0 {
+		c.Mode = ModeAll
+	}
+	if c.Mode == ModeBlocks && c.BlockLen < 1 {
+		return fmt.Errorf("sim: ModeBlocks requires BlockLen >= 1")
+	}
+	if !(c.BatteryCap > 0) {
+		return fmt.Errorf("sim: BatteryCap must be positive, got %g", c.BatteryCap)
+	}
+	if c.InitialBattery == 0 {
+		c.InitialBattery = c.BatteryCap / 2
+	}
+	if c.Slots < 1 {
+		return fmt.Errorf("sim: Slots must be >= 1, got %d", c.Slots)
+	}
+	if c.Info == 0 {
+		c.Info = FullInfo
+	}
+	return nil
+}
+
+// inCharge returns the 0-based sensor responsible for slot t, or -1 when
+// all sensors decide (ModeAll).
+func (c *Config) inCharge(t int64) int {
+	switch c.Mode {
+	case ModeRoundRobin:
+		return int((t - 1) % int64(c.N))
+	case ModeBlocks:
+		block := (t - 1) / int64(c.BlockLen)
+		return int(block % int64(c.N))
+	default:
+		return -1
+	}
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed, 0x5eed)
+	eventSrc := root.Split(1)
+	decisionSrc := root.Split(2)
+
+	batteries := make([]*energy.Battery, cfg.N)
+	recharges := make([]energy.Recharge, cfg.N)
+	rechargeSrcs := make([]*rng.Source, cfg.N)
+	policies := make([]Policy, cfg.N)
+	for s := 0; s < cfg.N; s++ {
+		b, err := energy.NewBattery(cfg.BatteryCap, cfg.InitialBattery)
+		if err != nil {
+			return nil, err
+		}
+		batteries[s] = b
+		recharges[s] = cfg.NewRecharge()
+		rechargeSrcs[s] = root.Split(uint64(100 + s))
+		policies[s] = cfg.NewPolicy(s)
+		policies[s].Reset()
+	}
+
+	cost := cfg.Params.ActivationCost()
+	res := &Result{Slots: cfg.Slots, Sensors: make([]SensorStats, cfg.N)}
+
+	// The paper assumes an event (and, for PI, a capture) at slot 0.
+	lastEvent := int64(0)
+	sharedLastCapture := int64(0)
+	ownLastCapture := make([]int64, cfg.N)
+	nextEvent := int64(cfg.Dist.Sample(eventSrc))
+
+	failed := make([]bool, cfg.N)
+	actions := make([]bool, cfg.N)
+	var windowEvents, windowCaptures int64
+	for t := int64(1); t <= cfg.Slots; t++ {
+		for s, slot := range cfg.FailAt {
+			if s >= 0 && s < cfg.N && t >= slot {
+				failed[s] = true
+			}
+		}
+		// 1. Recharge completes at the beginning of the slot.
+		for s := 0; s < cfg.N; s++ {
+			if failed[s] {
+				continue
+			}
+			batteries[s].Recharge(recharges[s].Next(rechargeSrcs[s]))
+		}
+
+		event := t == nextEvent
+		charge := cfg.inCharge(t)
+		captured := false
+		for s := 0; s < cfg.N; s++ {
+			actions[s] = false
+		}
+
+		decide := func(s int) {
+			if failed[s] {
+				return
+			}
+			st := SlotState{
+				Slot:         t,
+				SinceEvent:   int(t - lastEvent),
+				SinceCapture: int(t - sharedLastCapture),
+				Battery:      batteries[s].Level(),
+			}
+			if cfg.Info == PartialInfo {
+				st.SinceEvent = -1
+			}
+			if cfg.Mode == ModeAll && cfg.Info == PartialInfo {
+				st.SinceCapture = int(t - ownLastCapture[s])
+			}
+			p := policies[s].ActivationProb(st)
+			if p <= 0 || !decisionSrc.Bernoulli(p) {
+				policies[s].Observe(outcomeFor(cfg.Info, false, event, false))
+				return
+			}
+			stats := &res.Sensors[s]
+			if !batteries[s].CanConsume(cost) {
+				stats.Denied++
+				policies[s].Observe(outcomeFor(cfg.Info, false, event, false))
+				return
+			}
+			actions[s] = true
+			batteries[s].Consume(cfg.Params.Delta1)
+			stats.Activations++
+			if event {
+				batteries[s].Consume(cfg.Params.Delta2)
+				stats.Captures++
+				captured = true
+			}
+			policies[s].Observe(outcomeFor(cfg.Info, true, event, event))
+		}
+
+		if charge >= 0 {
+			decide(charge)
+		} else {
+			for s := 0; s < cfg.N; s++ {
+				decide(s)
+			}
+		}
+
+		if cfg.Trace != nil {
+			// Record decision-time states (the paper's H_t / F_t).
+			rec := TraceRecord{
+				Slot:         t,
+				InCharge:     charge,
+				Event:        event,
+				SinceEvent:   int(t - lastEvent),
+				SinceCapture: int(t - sharedLastCapture),
+				Actions:      append([]bool(nil), actions...),
+				Captured:     captured,
+			}
+			cfg.Trace(rec)
+		}
+		if event {
+			res.Events++
+			lastEvent = t
+			nextEvent = t + int64(cfg.Dist.Sample(eventSrc))
+		}
+		if captured {
+			res.Captures++
+			sharedLastCapture = t
+			for s := 0; s < cfg.N; s++ {
+				if actions[s] {
+					ownLastCapture[s] = t
+				}
+			}
+		}
+		if cfg.SampleEvery > 0 && t%cfg.SampleEvery == 0 {
+			point := TimelinePoint{Slot: t, Battery: batteries[0].Level()}
+			if res.Events > 0 {
+				point.QoM = float64(res.Captures) / float64(res.Events)
+			}
+			wEvents := res.Events - windowEvents
+			wCaptures := res.Captures - windowCaptures
+			if wEvents > 0 {
+				point.WindowQoM = float64(wCaptures) / float64(wEvents)
+			}
+			windowEvents, windowCaptures = res.Events, res.Captures
+			res.Timeline = append(res.Timeline, point)
+		}
+	}
+
+	for s := 0; s < cfg.N; s++ {
+		st := &res.Sensors[s]
+		st.EnergyConsumed = batteries[s].Consumed()
+		st.OverflowLost = batteries[s].OverflowLost()
+		st.FinalBattery = batteries[s].Level()
+	}
+	if res.Events > 0 {
+		res.QoM = float64(res.Captures) / float64(res.Events)
+	}
+	return res, nil
+}
+
+func outcomeFor(info Info, active, event, captured bool) Outcome {
+	known := active || info == FullInfo
+	o := Outcome{Active: active, EventKnown: known, Captured: captured}
+	if known {
+		o.Event = event
+	}
+	return o
+}
