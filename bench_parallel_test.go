@@ -1,0 +1,114 @@
+package eventcap_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"eventcap/internal/core"
+	"eventcap/internal/dist"
+	"eventcap/internal/energy"
+	"eventcap/internal/parallel"
+	"eventcap/internal/sim"
+)
+
+// parallelSweep is the representative workload behind the speedup
+// numbers: a 16-point sweep of independent simulations, the same shape
+// every experiment driver fans through parallel.Map. Simulation (not
+// policy computation) dominates, so no caching blurs the measurement.
+func parallelSweep(workers int) ([]float64, error) {
+	d, err := dist.NewWeibull(40, 3)
+	if err != nil {
+		return nil, err
+	}
+	p := core.DefaultParams()
+	fi, err := core.GreedyFICached(d, 0.5, p)
+	if err != nil {
+		return nil, err
+	}
+	return parallel.Map(workers, 16, func(i int) (float64, error) {
+		res, err := sim.Run(sim.Config{
+			Dist:   d,
+			Params: p,
+			NewRecharge: func() energy.Recharge {
+				r, _ := energy.NewBernoulli(0.5, 1)
+				return r
+			},
+			NewPolicy:  func(int) sim.Policy { return &sim.VectorFI{Vector: fi.Policy} },
+			BatteryCap: 1000,
+			Slots:      200_000,
+			Seed:       uint64(i + 1),
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.QoM, nil
+	})
+}
+
+func benchParallelSweep(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := parallelSweep(workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelSpeedup compares the sweep at one worker against the
+// full pool; the ratio of the two ns/op figures is the engine's speedup
+// on this machine.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	b.Run("workers=1", func(b *testing.B) { benchParallelSweep(b, 1) })
+	b.Run(fmt.Sprintf("workers=%d", runtime.NumCPU()), func(b *testing.B) {
+		benchParallelSweep(b, 0)
+	})
+}
+
+// TestEmitBenchParallelJSON measures the sequential and pooled sweep and
+// writes BENCH_parallel.json (machine-readable speedup record). Gated by
+// BENCH_PARALLEL_JSON=<path> so normal test runs stay fast:
+//
+//	BENCH_PARALLEL_JSON=BENCH_parallel.json go test -run TestEmitBenchParallelJSON .
+func TestEmitBenchParallelJSON(t *testing.T) {
+	path := os.Getenv("BENCH_PARALLEL_JSON")
+	if path == "" {
+		t.Skip("set BENCH_PARALLEL_JSON=<path> to emit the benchmark record")
+	}
+	seq := testing.Benchmark(func(b *testing.B) { benchParallelSweep(b, 1) })
+	par := testing.Benchmark(func(b *testing.B) { benchParallelSweep(b, 0) })
+	rec := struct {
+		Benchmark                   string  `json:"benchmark"`
+		CPUs                        int     `json:"cpus"`
+		Jobs                        int     `json:"jobs"`
+		SlotsPerJob                 int64   `json:"slots_per_job"`
+		SequentialNs                int64   `json:"sequential_ns_per_op"`
+		ParallelNs                  int64   `json:"parallel_ns_per_op"`
+		Speedup                     float64 `json:"speedup"`
+		GoMaxProcs                  int     `json:"gomaxprocs"`
+		GoVersion                   string  `json:"go_version"`
+		DeterministicByConstruction bool    `json:"deterministic_by_construction"`
+	}{
+		Benchmark:                   "BenchmarkParallelSpeedup",
+		CPUs:                        runtime.NumCPU(),
+		Jobs:                        16,
+		SlotsPerJob:                 200_000,
+		SequentialNs:                seq.NsPerOp(),
+		ParallelNs:                  par.NsPerOp(),
+		Speedup:                     float64(seq.NsPerOp()) / float64(par.NsPerOp()),
+		GoMaxProcs:                  runtime.GOMAXPROCS(0),
+		GoVersion:                   runtime.Version(),
+		DeterministicByConstruction: true,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sequential %v, parallel %v, speedup %.2fx on %d CPUs",
+		seq.NsPerOp(), par.NsPerOp(), rec.Speedup, rec.CPUs)
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"eventcap/internal/experiments"
+	"eventcap/internal/parallel"
 )
 
 func main() {
@@ -33,12 +34,13 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		list   = fs.Bool("list", false, "list experiment ids and exit")
-		runID  = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
-		outDir = fs.String("out", "", "directory to write CSV files into (optional)")
-		quick  = fs.Bool("quick", false, "reduced sweeps and shorter runs")
-		slots  = fs.Int64("slots", 0, "override simulation length T (default 1e6; 1e5 with -quick)")
-		seed   = fs.Uint64("seed", 1, "random seed")
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		runID   = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+		outDir  = fs.String("out", "", "directory to write CSV files into (optional)")
+		quick   = fs.Bool("quick", false, "reduced sweeps and shorter runs")
+		slots   = fs.Int64("slots", 0, "override simulation length T (default 1e6; 1e5 with -quick)")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		workers = fs.Int("workers", 0, "worker pool size for sweep points (0 = one per CPU; results are identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,15 +76,20 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	opts := experiments.Options{Slots: *slots, Seed: *seed, Quick: *quick}
+	opts := experiments.Options{Slots: *slots, Seed: *seed, Quick: *quick, Workers: *workers}
 	for _, exp := range selected {
 		start := time.Now()
 		table, err := exp.Run(opts)
 		if err != nil {
 			return fmt.Errorf("running %s: %w", exp.ID, err)
 		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		// The "timing:" prefix marks the one note allowed to vary between
+		// runs; CSV output carries no notes, so it stays byte-identical
+		// for a fixed seed at any worker count.
+		table.Notes = append(table.Notes, fmt.Sprintf("timing: %v wall-clock with %d workers", elapsed, parallel.Workers(*workers)))
 		fmt.Fprintln(out, table.ASCII())
-		fmt.Fprintf(out, "(%s finished in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(out, "(%s finished in %v)\n\n", exp.ID, elapsed)
 		if *outDir != "" {
 			path := filepath.Join(*outDir, exp.ID+".csv")
 			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {

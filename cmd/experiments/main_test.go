@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -35,6 +36,31 @@ func TestRunWritesCSV(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "ablation-lp —") {
 		t.Errorf("missing ASCII table:\n%s", sb.String())
+	}
+}
+
+// TestWorkersFlagByteIdenticalCSV: -workers is a wall-clock knob only;
+// the CSVs it writes are byte-identical at any pool size.
+func TestWorkersFlagByteIdenticalCSV(t *testing.T) {
+	csvFor := func(workers string) []byte {
+		t.Helper()
+		dir := t.TempDir()
+		var sb strings.Builder
+		args := []string{"-run", "fig3a", "-quick", "-seed", "3", "-out", dir, "-workers", workers}
+		if err := run(args, &sb); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "fig3a.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	base := csvFor("1")
+	for _, w := range []string{"4", "8"} {
+		if got := csvFor(w); !bytes.Equal(got, base) {
+			t.Errorf("-workers %s CSV differs from -workers 1:\n%s\nvs\n%s", w, got, base)
+		}
 	}
 }
 

@@ -43,6 +43,7 @@ func run(args []string) error {
 		delta1   = fs.Float64("delta1", 1, "sensing energy per active slot")
 		delta2   = fs.Float64("delta2", 6, "extra energy per capture")
 		theta1   = fs.Int("theta1", 3, "theta1 for the periodic policy")
+		workers  = fs.Int("workers", 0, "worker pool size for the independent-sensor fast path (0 = one per CPU)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +84,7 @@ func run(args []string) error {
 		Slots:       *slots,
 		Seed:        *seed,
 		Info:        info,
+		Workers:     *workers,
 	}
 	switch *mode {
 	case "roundrobin":

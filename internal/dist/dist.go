@@ -44,6 +44,36 @@ type Interarrival interface {
 	Name() string
 }
 
+// Keyed is implemented by distributions whose full identity can be
+// captured in a stable string, enabling memoization of policy
+// computations keyed on the distribution (see the policy cache in
+// internal/core). Two instances with equal, non-empty keys must be
+// interchangeable: identical PMF, CDF, Hazard, and Mean. CacheKey
+// returns "" when the identity cannot be captured, which disables
+// caching for that instance.
+type Keyed interface {
+	CacheKey() string
+}
+
+// hashFloats is a 64-bit FNV-1a hash over the exact bit patterns of a
+// float slice, used by table-backed distributions (Empirical) whose
+// display name does not identify their contents.
+func hashFloats(vals []float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= (bits >> s) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
 // hazardFromCDF computes β_i from PMF/CDF, shared by implementations.
 func hazardFromCDF(d Interarrival, i int) float64 {
 	if i < 1 {

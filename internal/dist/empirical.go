@@ -94,3 +94,9 @@ func (e *Empirical) Sample(src *rng.Source) int {
 
 // Name implements Interarrival.
 func (e *Empirical) Name() string { return e.name }
+
+// CacheKey implements Keyed. The display name only reports the support
+// size, so the key additionally hashes the exact normalized PMF.
+func (e *Empirical) CacheKey() string {
+	return fmt.Sprintf("%s#%016x", e.name, hashFloats(e.alpha))
+}

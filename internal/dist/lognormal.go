@@ -81,3 +81,7 @@ func (l *LogNormal) Sample(src *rng.Source) int {
 
 // Name implements Interarrival.
 func (l *LogNormal) Name() string { return l.name }
+
+// CacheKey implements Keyed; the name embeds both parameters at
+// round-trip precision.
+func (l *LogNormal) CacheKey() string { return l.name }

@@ -100,6 +100,10 @@ func (m *MarkovRenewal) Sample(src *rng.Source) int {
 // Name implements Interarrival.
 func (m *MarkovRenewal) Name() string { return m.name }
 
+// CacheKey implements Keyed; the name embeds both chain parameters at
+// round-trip precision.
+func (m *MarkovRenewal) CacheKey() string { return m.name }
+
 // EventRate returns the stationary fraction of slots containing an event,
 // (1−b)/(2−a−b), useful for calibrating energy-balanced baselines.
 func (m *MarkovRenewal) EventRate() float64 {

@@ -93,3 +93,23 @@ func (m *Mixture) Sample(src *rng.Source) int {
 
 // Name implements Interarrival.
 func (m *Mixture) Name() string { return m.name }
+
+// CacheKey implements Keyed. The display name rounds weights to three
+// significant digits, so the key is rebuilt from the exact normalized
+// weights and the components' own cache keys. It returns "" (caching
+// disabled) if any component is itself unkeyed.
+func (m *Mixture) CacheKey() string {
+	parts := make([]string, 0, len(m.components))
+	for i, c := range m.components {
+		k, ok := c.(Keyed)
+		if !ok {
+			return ""
+		}
+		ck := k.CacheKey()
+		if ck == "" {
+			return ""
+		}
+		parts = append(parts, fmt.Sprintf("%b*%s", m.weights[i], ck))
+	}
+	return "Mixture(" + strings.Join(parts, " + ") + ")"
+}

@@ -135,3 +135,7 @@ func (p *Pareto) Sample(src *rng.Source) int {
 
 // Name implements Interarrival.
 func (p *Pareto) Name() string { return p.name }
+
+// CacheKey implements Keyed; the name embeds both parameters at
+// round-trip precision.
+func (p *Pareto) CacheKey() string { return p.name }

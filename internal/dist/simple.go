@@ -75,6 +75,10 @@ func (g *Geometric) Sample(src *rng.Source) int {
 // Name implements Interarrival.
 func (g *Geometric) Name() string { return g.name }
 
+// CacheKey implements Keyed; the name embeds the parameter at
+// round-trip precision.
+func (g *Geometric) CacheKey() string { return g.name }
+
 // Deterministic is the distribution with all mass at a single slot count —
 // a strictly periodic event process, the extreme of renewal memory.
 type Deterministic struct {
@@ -124,6 +128,9 @@ func (d *Deterministic) Sample(*rng.Source) int { return d.d }
 
 // Name implements Interarrival.
 func (d *Deterministic) Name() string { return d.name }
+
+// CacheKey implements Keyed; the name embeds the slot count.
+func (d *Deterministic) CacheKey() string { return d.name }
 
 // UniformInt is uniform on the integer slots {lo, ..., hi}.
 type UniformInt struct {
@@ -177,3 +184,6 @@ func (u *UniformInt) Sample(src *rng.Source) int {
 
 // Name implements Interarrival.
 func (u *UniformInt) Name() string { return u.name }
+
+// CacheKey implements Keyed; the name embeds both bounds.
+func (u *UniformInt) CacheKey() string { return u.name }

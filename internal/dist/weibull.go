@@ -95,3 +95,7 @@ func (w *Weibull) Sample(src *rng.Source) int {
 
 // Name implements Interarrival.
 func (w *Weibull) Name() string { return w.name }
+
+// CacheKey implements Keyed; the name embeds both parameters at
+// round-trip precision.
+func (w *Weibull) CacheKey() string { return w.name }

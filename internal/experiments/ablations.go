@@ -8,6 +8,7 @@ import (
 	"eventcap/internal/dist"
 	"eventcap/internal/energy"
 	"eventcap/internal/mdp"
+	"eventcap/internal/parallel"
 	"eventcap/internal/sim"
 )
 
@@ -38,30 +39,36 @@ func runAblationLP(opts Options) (*Table, error) {
 		X:      es,
 		Notes:  []string{"max |greedy − LP| over both workloads is reported in the last column; Theorem 1 predicts 0"},
 	}
+	// Grid: (energy rate × workload); each cell solves greedy and the
+	// simplex LP independently.
+	workloads := []dist.Interarrival{w, mr}
+	type pair struct{ greedy, lp float64 }
+	cells, err := parallel.Map(opts.Workers, len(es)*len(workloads), func(j int) (pair, error) {
+		e := es[j/len(workloads)]
+		d := workloads[j%len(workloads)]
+		greedy, err := core.GreedyFICached(d, e, p)
+		if err != nil {
+			return pair{}, err
+		}
+		lp, err := core.LPFICached(d, e, p, 300)
+		if err != nil {
+			return pair{}, err
+		}
+		return pair{greedy: greedy.CaptureProb, lp: lp.CaptureProb}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	gW := Series{Name: "greedy W(40,3)", Y: make([]float64, len(es))}
 	lW := Series{Name: "LP W(40,3)", Y: make([]float64, len(es))}
 	gM := Series{Name: "greedy Markov(.3,.6)", Y: make([]float64, len(es))}
 	lM := Series{Name: "LP Markov(.3,.6)", Y: make([]float64, len(es))}
 	diff := Series{Name: "max |diff|", Y: make([]float64, len(es))}
-	for i, e := range es {
-		for k, d := range []dist.Interarrival{w, mr} {
-			greedy, err := core.GreedyFI(d, e, p)
-			if err != nil {
-				return nil, err
-			}
-			lp, err := core.LPFI(d, e, p, 300)
-			if err != nil {
-				return nil, err
-			}
-			if k == 0 {
-				gW.Y[i], lW.Y[i] = greedy.CaptureProb, lp.CaptureProb
-			} else {
-				gM.Y[i], lM.Y[i] = greedy.CaptureProb, lp.CaptureProb
-			}
-			if d := math.Abs(greedy.CaptureProb - lp.CaptureProb); d > diff.Y[i] {
-				diff.Y[i] = d
-			}
-		}
+	for i := range es {
+		cw, cm := cells[i*len(workloads)], cells[i*len(workloads)+1]
+		gW.Y[i], lW.Y[i] = cw.greedy, cw.lp
+		gM.Y[i], lM.Y[i] = cm.greedy, cm.lp
+		diff.Y[i] = math.Max(math.Abs(cw.greedy-cw.lp), math.Abs(cm.greedy-cm.lp))
 	}
 	table.Series = []Series{gW, lW, gM, lM, diff}
 	return table, nil
@@ -89,28 +96,26 @@ func runAblationWindows(opts Options) (*Table, error) {
 		X:      es,
 		Notes:  []string{"refinement inserts up to 2 extra sleep windows into the recovery tail (Section IV-B2's c_n4, c_n5 remark)"},
 	}
-	base := Series{Name: "pi'_PI (3 regions)", Y: make([]float64, len(es))}
-	refined := Series{Name: "refined (extra windows)", Y: make([]float64, len(es))}
-	gain := Series{Name: "gain", Y: make([]float64, len(es))}
-	for i, e := range es {
+	rows, err := parallel.Map(opts.Workers, len(es), func(i int) ([]float64, error) {
 		copts := core.ClusteringOptions{}
 		if opts.Quick {
 			copts.CoarsePoints = 8
 			copts.MaxGap = 512
 		}
-		b, err := core.OptimizeClustering(d, e, p, copts)
+		b, err := core.OptimizeClusteringCached(d, es[i], p, copts)
 		if err != nil {
 			return nil, err
 		}
-		r, err := core.RefineWindows(d, e, p, b, 2)
+		r, err := core.RefineWindows(d, es[i], p, b, 2)
 		if err != nil {
 			return nil, err
 		}
-		base.Y[i] = b.CaptureProb
-		refined.Y[i] = r.CaptureProb
-		gain.Y[i] = r.CaptureProb - b.CaptureProb
+		return []float64{b.CaptureProb, r.CaptureProb, r.CaptureProb - b.CaptureProb}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	table.Series = []Series{base, refined, gain}
+	table.Series = seriesFromColumns(rows, "pi'_PI (3 regions)", "refined (extra windows)", "gain")
 	return table, nil
 }
 
@@ -137,18 +142,13 @@ func runAblationPOMDP(opts Options) (*Table, error) {
 			"'exact' and 'vector' are expected captures of the optimal policy and of the best static hot-window vector",
 		},
 	}
-	beliefs := Series{Name: "beliefs", Y: make([]float64, len(horizons))}
-	exact := Series{Name: "exact", Y: make([]float64, len(horizons))}
-	vector := Series{Name: "vector", Y: make([]float64, len(horizons))}
-	for i, hf := range horizons {
-		h := int(hf)
+	rows, err := parallel.Map(opts.Workers, len(horizons), func(i int) ([]float64, error) {
+		h := int(horizons[i])
 		pomdp, err := mdp.NewPOMDP(alpha, 1, 2, 8, 1, h)
 		if err != nil {
 			return nil, err
 		}
 		res := pomdp.SolveExact()
-		exact.Y[i] = res.Value
-		beliefs.Y[i] = float64(res.DistinctBeliefs)
 		// Best static window over the 5-state support (brute force).
 		bestVec := 0.0
 		for lo := 1; lo <= 5; lo++ {
@@ -163,9 +163,12 @@ func runAblationPOMDP(opts Options) (*Table, error) {
 				}
 			}
 		}
-		vector.Y[i] = bestVec
+		return []float64{float64(res.DistinctBeliefs), res.Value, bestVec}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	table.Series = []Series{beliefs, exact, vector}
+	table.Series = seriesFromColumns(rows, "beliefs", "exact", "vector")
 	return table, nil
 }
 
@@ -180,7 +183,7 @@ func runAblationRecharge(opts Options) (*Table, error) {
 		return nil, err
 	}
 	p := core.DefaultParams()
-	fi, err := core.GreedyFI(d, 0.5, p)
+	fi, err := core.GreedyFICached(d, 0.5, p)
 	if err != nil {
 		return nil, err
 	}
@@ -210,25 +213,30 @@ func runAblationRecharge(opts Options) (*Table, error) {
 			"the bursty OnOff process needs the largest K to converge — battery as burst absorber (Remark 2)",
 		},
 	}
-	for _, rc := range cases {
-		s := Series{Name: rc.name, Y: make([]float64, len(caps))}
-		for i, k := range caps {
-			res, err := sim.Run(sim.Config{
-				Dist:        d,
-				Params:      p,
-				NewRecharge: rc.mk,
-				NewPolicy:   newVectorPolicy(sim.FullInfo, fi.Policy),
-				BatteryCap:  k,
-				Slots:       opts.Slots,
-				Seed:        opts.Seed + uint64(i),
-				Info:        sim.FullInfo,
-			})
-			if err != nil {
-				return nil, err
-			}
-			s.Y[i] = res.QoM
+	// Fan the (recharge process × capacity) grid across the pool.
+	qoms, err := parallel.Map(opts.Workers, len(cases)*len(caps), func(j int) (float64, error) {
+		rc := cases[j/len(caps)]
+		i := j % len(caps)
+		res, err := sim.Run(sim.Config{
+			Dist:        d,
+			Params:      p,
+			NewRecharge: rc.mk,
+			NewPolicy:   newVectorPolicy(sim.FullInfo, fi.Policy),
+			BatteryCap:  caps[i],
+			Slots:       opts.Slots,
+			Seed:        opts.Seed + uint64(i),
+			Info:        sim.FullInfo,
+		})
+		if err != nil {
+			return 0, err
 		}
-		table.Series = append(table.Series, s)
+		return res.QoM, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, rc := range cases {
+		table.Series = append(table.Series, Series{Name: rc.name, Y: qoms[r*len(caps) : (r+1)*len(caps)]})
 	}
 	return table, nil
 }
@@ -266,7 +274,7 @@ func runAblationLoadBalance(opts Options) (*Table, error) {
 			"Deterministic(2) is the paper's adversarial example: with N=2 one sensor owns every event slot",
 		},
 	}
-	for _, tc := range []struct {
+	tcs := []struct {
 		name string
 		d    dist.Interarrival
 		e    float64
@@ -274,32 +282,39 @@ func runAblationLoadBalance(opts Options) (*Table, error) {
 		{"Weibull(40,3)", w, 0.3},
 		{"Pareto(2,10)", pa, 0.3},
 		{"Deterministic(2)", det, 1.0},
-	} {
-		s := Series{Name: tc.name, Y: make([]float64, len(ns))}
-		for i, nf := range ns {
-			n := int(nf)
-			fi, err := core.GreedyFI(tc.d, float64(n)*tc.e, p)
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.Run(sim.Config{
-				Dist:        tc.d,
-				Params:      p,
-				NewRecharge: func() energy.Recharge { r, _ := energy.NewConstant(tc.e); return r },
-				NewPolicy:   newVectorPolicy(sim.FullInfo, fi.Policy),
-				N:           n,
-				Mode:        sim.ModeRoundRobin,
-				BatteryCap:  1000,
-				Slots:       opts.Slots,
-				Seed:        opts.Seed + uint64(i),
-				Info:        sim.FullInfo,
-			})
-			if err != nil {
-				return nil, err
-			}
-			s.Y[i] = res.LoadImbalance()
+	}
+	// Fan the (workload × N) grid across the pool; each cell solves its
+	// own aggregate-rate policy (cached across repeated N·e values).
+	imbs, err := parallel.Map(opts.Workers, len(tcs)*len(ns), func(j int) (float64, error) {
+		tc := tcs[j/len(ns)]
+		i := j % len(ns)
+		n := int(ns[i])
+		fi, err := core.GreedyFICached(tc.d, float64(n)*tc.e, p)
+		if err != nil {
+			return 0, err
 		}
-		table.Series = append(table.Series, s)
+		res, err := sim.Run(sim.Config{
+			Dist:        tc.d,
+			Params:      p,
+			NewRecharge: func() energy.Recharge { r, _ := energy.NewConstant(tc.e); return r },
+			NewPolicy:   newVectorPolicy(sim.FullInfo, fi.Policy),
+			N:           n,
+			Mode:        sim.ModeRoundRobin,
+			BatteryCap:  1000,
+			Slots:       opts.Slots,
+			Seed:        opts.Seed + uint64(i),
+			Info:        sim.FullInfo,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.LoadImbalance(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for t, tc := range tcs {
+		table.Series = append(table.Series, Series{Name: tc.name, Y: imbs[t*len(ns) : (t+1)*len(ns)]})
 	}
 	return table, nil
 }
@@ -329,10 +344,9 @@ func runAblationPoisson(opts Options) (*Table, error) {
 			fmt.Sprintf("Geometric(1/36) events (discrete Poisson), Bernoulli(q=0.5, c) recharge, K=1000, T=%d", opts.Slots),
 		},
 	}
-	cluster := Series{Name: "pi'_PI", Y: make([]float64, len(cs))}
-	aggr := Series{Name: "pi_AG", Y: make([]float64, len(cs))}
-	peri := Series{Name: "pi_PE", Y: make([]float64, len(cs))}
-	for i, c := range cs {
+	points, err := parallel.Map(opts.Workers, len(cs), func(i int) ([]float64, error) {
+		ys := make([]float64, 3)
+		c := cs[i]
 		e := 0.5 * c
 		newRecharge := func() energy.Recharge { r, _ := energy.NewBernoulli(0.5, c); return r }
 		run := func(newPolicy func(int) sim.Policy, seedOff uint64) (float64, error) {
@@ -355,10 +369,10 @@ func runAblationPoisson(opts Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		if cluster.Y[i], err = run(newVectorPolicy(sim.PartialInfo, vec), 1); err != nil {
+		if ys[0], err = run(newVectorPolicy(sim.PartialInfo, vec), 1); err != nil {
 			return nil, err
 		}
-		if aggr.Y[i], err = run(func(int) sim.Policy { return sim.Aggressive{} }, 2); err != nil {
+		if ys[1], err = run(func(int) sim.Policy { return sim.Aggressive{} }, 2); err != nil {
 			return nil, err
 		}
 		theta2, err := core.PeriodicTheta2(3, e, g, p)
@@ -369,10 +383,14 @@ func runAblationPoisson(opts Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		if peri.Y[i], err = run(func(int) sim.Policy { return pe }, 3); err != nil {
+		if ys[2], err = run(func(int) sim.Policy { return pe }, 3); err != nil {
 			return nil, err
 		}
+		return ys, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	table.Series = []Series{cluster, aggr, peri}
+	table.Series = seriesFromColumns(points, "pi'_PI", "pi_AG", "pi_PE")
 	return table, nil
 }

@@ -6,6 +6,7 @@ import (
 	"eventcap/internal/core"
 	"eventcap/internal/dist"
 	"eventcap/internal/energy"
+	"eventcap/internal/parallel"
 	"eventcap/internal/sim"
 )
 
@@ -21,7 +22,7 @@ func runAblationAdaptive(opts Options) (*Table, error) {
 	}
 	p := core.DefaultParams()
 	const e = 0.5
-	fi, err := core.GreedyFI(d, e, p)
+	fi, err := core.GreedyFICached(d, e, p)
 	if err != nil {
 		return nil, err
 	}
@@ -41,12 +42,9 @@ func runAblationAdaptive(opts Options) (*Table, error) {
 			"the learner estimates the gap PMF from observed events and recomputes Theorem 1's policy every 50 events",
 		},
 	}
-	oracle := Series{Name: "oracle (known dist)", Y: make([]float64, len(horizons))}
-	adaptive := Series{Name: "adaptive (learned)", Y: make([]float64, len(horizons))}
-	blind := Series{Name: "aggressive (blind)", Y: make([]float64, len(horizons))}
-
-	for i, hf := range horizons {
-		slots := int64(hf)
+	rows, err := parallel.Map(opts.Workers, len(horizons), func(i int) ([]float64, error) {
+		ys := make([]float64, 3)
+		slots := int64(horizons[i])
 		run := func(newPolicy func(int) sim.Policy, seedOff uint64) (float64, error) {
 			res, err := sim.Run(sim.Config{
 				Dist:   d,
@@ -67,17 +65,21 @@ func runAblationAdaptive(opts Options) (*Table, error) {
 			return res.QoM, nil
 		}
 		var err error
-		if oracle.Y[i], err = run(func(int) sim.Policy { return &sim.VectorFI{Vector: fi.Policy} }, 1); err != nil {
+		if ys[0], err = run(func(int) sim.Policy { return &sim.VectorFI{Vector: fi.Policy} }, 1); err != nil {
 			return nil, err
 		}
-		if adaptive.Y[i], err = run(func(int) sim.Policy { return &sim.AdaptiveGreedyFI{E: e, Params: p} }, 2); err != nil {
+		if ys[1], err = run(func(int) sim.Policy { return &sim.AdaptiveGreedyFI{E: e, Params: p} }, 2); err != nil {
 			return nil, err
 		}
-		if blind.Y[i], err = run(func(int) sim.Policy { return sim.Aggressive{} }, 3); err != nil {
+		if ys[2], err = run(func(int) sim.Policy { return sim.Aggressive{} }, 3); err != nil {
 			return nil, err
 		}
+		return ys, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	table.Series = []Series{oracle, adaptive, blind}
+	table.Series = seriesFromColumns(rows, "oracle (known dist)", "adaptive (learned)", "aggressive (blind)")
 	return table, nil
 }
 
@@ -112,19 +114,17 @@ func runAblationFaults(opts Options) (*Table, error) {
 			"round robin keeps dead sensors' slot assignments; uncoordinated sensors overlap but tolerate losses",
 		},
 	}
-	rr := Series{Name: "M-FI round robin", Y: make([]float64, len(deadCounts))}
-	un := Series{Name: "uncoordinated", Y: make([]float64, len(deadCounts))}
-
-	team, err := core.GreedyFI(d, n*e, p)
+	team, err := core.GreedyFICached(d, n*e, p)
 	if err != nil {
 		return nil, err
 	}
-	solo, err := core.GreedyFI(d, e, p)
+	solo, err := core.GreedyFICached(d, e, p)
 	if err != nil {
 		return nil, err
 	}
-	for i, df := range deadCounts {
-		dead := int(df)
+	rows, err := parallel.Map(opts.Workers, len(deadCounts), func(i int) ([]float64, error) {
+		ys := make([]float64, 2)
+		dead := int(deadCounts[i])
 		failAt := make(map[int]int64, dead)
 		for s := 0; s < dead; s++ {
 			failAt[s] = opts.Slots / 4
@@ -152,14 +152,18 @@ func runAblationFaults(opts Options) (*Table, error) {
 			return res.QoM, nil
 		}
 		var err error
-		if rr.Y[i], err = run(sim.ModeRoundRobin, team.Policy, 1); err != nil {
+		if ys[0], err = run(sim.ModeRoundRobin, team.Policy, 1); err != nil {
 			return nil, err
 		}
-		if un.Y[i], err = run(sim.ModeAll, solo.Policy, 2); err != nil {
+		if ys[1], err = run(sim.ModeAll, solo.Policy, 2); err != nil {
 			return nil, err
 		}
+		return ys, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	table.Series = []Series{rr, un}
+	table.Series = seriesFromColumns(rows, "M-FI round robin", "uncoordinated")
 	return table, nil
 }
 
@@ -198,15 +202,14 @@ func runAblationMultiPoI(opts Options) (*Table, error) {
 			"'analytic' is the equilibrium-age calibration of core.OptimizeMultiPoI",
 		},
 	}
-	analytic := Series{Name: "analytic", Y: make([]float64, len(es))}
-	index := Series{Name: "max-hazard index", Y: make([]float64, len(es))}
-	blind := Series{Name: "round robin", Y: make([]float64, len(es))}
-	for i, e := range es {
+	rows, err := parallel.Map(opts.Workers, len(es), func(i int) ([]float64, error) {
+		ys := make([]float64, 3)
+		e := es[i]
 		cal, err := core.OptimizeMultiPoI(dists, e, p)
 		if err != nil {
 			return nil, err
 		}
-		analytic.Y[i] = cal.CaptureProb
+		ys[0] = cal.CaptureProb
 		run := func(pol sim.PoIPolicy, seedOff uint64) (float64, error) {
 			res, err := sim.RunMultiPoI(sim.MultiPoIConfig{
 				Dists:  dists,
@@ -225,14 +228,18 @@ func runAblationMultiPoI(opts Options) (*Table, error) {
 			}
 			return res.QoM, nil
 		}
-		if index.Y[i], err = run(&sim.MaxHazardThreshold{Dists: dists, Threshold: cal.Threshold}, 1); err != nil {
+		if ys[1], err = run(&sim.MaxHazardThreshold{Dists: dists, Threshold: cal.Threshold}, 1); err != nil {
 			return nil, err
 		}
 		duty := e / p.ActivationCost()
-		if blind.Y[i], err = run(&sim.RoundRobinPoI{M: len(dists), Duty: duty}, 2); err != nil {
+		if ys[2], err = run(&sim.RoundRobinPoI{M: len(dists), Duty: duty}, 2); err != nil {
 			return nil, err
 		}
+		return ys, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	table.Series = []Series{analytic, index, blind}
+	table.Series = seriesFromColumns(rows, "analytic", "max-hazard index", "round robin")
 	return table, nil
 }

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"eventcap/internal/core"
+)
+
+// filterTimingNotes drops wall-clock annotations, the only table content
+// allowed to differ between runs.
+func filterTimingNotes(notes []string) []string {
+	out := make([]string, 0, len(notes))
+	for _, n := range notes {
+		if strings.HasPrefix(n, "timing:") {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// assertTablesEqual requires bit-identical X and Series and identical
+// Notes modulo timing annotations.
+func assertTablesEqual(t *testing.T, want, got *Table) {
+	t.Helper()
+	if len(got.X) != len(want.X) {
+		t.Fatalf("X length %d != %d", len(got.X), len(want.X))
+	}
+	for i := range want.X {
+		if got.X[i] != want.X[i] {
+			t.Fatalf("X[%d]: %v != %v", i, got.X[i], want.X[i])
+		}
+	}
+	if len(got.Series) != len(want.Series) {
+		t.Fatalf("series count %d != %d", len(got.Series), len(want.Series))
+	}
+	for k := range want.Series {
+		if got.Series[k].Name != want.Series[k].Name {
+			t.Fatalf("series %d name %q != %q", k, got.Series[k].Name, want.Series[k].Name)
+		}
+		if len(got.Series[k].Y) != len(want.Series[k].Y) {
+			t.Fatalf("series %q length %d != %d", want.Series[k].Name, len(got.Series[k].Y), len(want.Series[k].Y))
+		}
+		for i := range want.Series[k].Y {
+			if got.Series[k].Y[i] != want.Series[k].Y[i] {
+				t.Fatalf("series %q[%d]: %v != %v (not bit-identical)",
+					want.Series[k].Name, i, got.Series[k].Y[i], want.Series[k].Y[i])
+			}
+		}
+	}
+	wn, gn := filterTimingNotes(want.Notes), filterTimingNotes(got.Notes)
+	if len(wn) != len(gn) {
+		t.Fatalf("notes count %d != %d", len(gn), len(wn))
+	}
+	for i := range wn {
+		if gn[i] != wn[i] {
+			t.Fatalf("note %d: %q != %q", i, gn[i], wn[i])
+		}
+	}
+}
+
+// testWorkerInvariance runs one experiment at workers=1 and workers=8
+// with the same seed and requires identical tables: the parallel engine
+// must not change any number, only the wall clock. The policy cache is
+// reset between runs so the second run recomputes rather than trivially
+// replaying cached results.
+func testWorkerInvariance(t *testing.T, id string) {
+	t.Helper()
+	exp, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	opts := Options{Quick: true, Seed: 7}
+
+	core.ResetPolicyCache()
+	opts.Workers = 1
+	seq, err := exp.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	core.ResetPolicyCache()
+	opts.Workers = 8
+	par, err := exp.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, seq, par)
+	if seq.CSV() != par.CSV() {
+		t.Fatal("CSV output differs between workers=1 and workers=8")
+	}
+}
+
+func TestFig3aWorkerInvariance(t *testing.T) {
+	testWorkerInvariance(t, "fig3a")
+}
+
+func TestAblationLPWorkerInvariance(t *testing.T) {
+	testWorkerInvariance(t, "ablation-lp")
+}

@@ -20,6 +20,10 @@ type Options struct {
 	Seed uint64
 	// Quick shrinks sweeps and horizons for smoke tests and benchmarks.
 	Quick bool
+	// Workers bounds the worker pool that sweep points and replications
+	// fan out on (default: one per CPU). Results are identical for any
+	// value; 1 forces fully sequential execution.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -194,6 +198,21 @@ func trimFloat(x float64) string {
 		return "0"
 	}
 	return s
+}
+
+// seriesFromColumns transposes per-sweep-point result rows into
+// labelled series: column k of points becomes the series names[k].
+// Every row must have len(names) entries.
+func seriesFromColumns(points [][]float64, names ...string) []Series {
+	out := make([]Series, len(names))
+	for k, name := range names {
+		y := make([]float64, len(points))
+		for i, pt := range points {
+			y[i] = pt[k]
+		}
+		out[k] = Series{Name: name, Y: y}
+	}
+	return out
 }
 
 // seriesByName finds a series in a table (helper for tests).

@@ -6,6 +6,7 @@ import (
 	"eventcap/internal/core"
 	"eventcap/internal/dist"
 	"eventcap/internal/energy"
+	"eventcap/internal/parallel"
 	"eventcap/internal/sim"
 )
 
@@ -31,25 +32,28 @@ type rechargeCase struct {
 }
 
 func fig3Recharges() ([]rechargeCase, error) {
-	bern, err := energy.NewBernoulli(0.5, 1)
-	if err != nil {
-		return nil, err
+	protos := []struct {
+		name string
+		mk   func() (energy.Recharge, error)
+	}{
+		{"Bernoulli", func() (energy.Recharge, error) { return energy.NewBernoulli(0.5, 1) }},
+		{"Periodic", func() (energy.Recharge, error) { return energy.NewPeriodic(5, 10) }},
+		{"Uniform", func() (energy.Recharge, error) { return energy.NewConstant(0.5) }},
 	}
-	_ = bern
-	return []rechargeCase{
-		{name: "Bernoulli", mk: func() energy.Recharge {
-			r, _ := energy.NewBernoulli(0.5, 1)
+	cases := make([]rechargeCase, len(protos))
+	for i, pr := range protos {
+		// Construct each process once up front so parameter errors
+		// surface here, not inside a factory that swallows them.
+		if _, err := pr.mk(); err != nil {
+			return nil, fmt.Errorf("building %s recharge: %w", pr.name, err)
+		}
+		mk := pr.mk
+		cases[i] = rechargeCase{name: pr.name, mk: func() energy.Recharge {
+			r, _ := mk()
 			return r
-		}},
-		{name: "Periodic", mk: func() energy.Recharge {
-			r, _ := energy.NewPeriodic(5, 10)
-			return r
-		}},
-		{name: "Uniform", mk: func() energy.Recharge {
-			r, _ := energy.NewConstant(0.5)
-			return r
-		}},
-	}, nil
+		}}
+	}
+	return cases, nil
 }
 
 func runFig3(id, title string, opts Options, info sim.Info) (*Table, error) {
@@ -65,7 +69,7 @@ func runFig3(id, title string, opts Options, info sim.Info) (*Table, error) {
 	var policyName string
 	switch info {
 	case sim.FullInfo:
-		fi, err := core.GreedyFI(d, fig3Rate, p)
+		fi, err := core.GreedyFICached(d, fig3Rate, p)
 		if err != nil {
 			return nil, err
 		}
@@ -76,7 +80,7 @@ func runFig3(id, title string, opts Options, info sim.Info) (*Table, error) {
 			copts.CoarsePoints = 8
 			copts.MaxGap = 512
 		}
-		pi, err := core.OptimizeClustering(d, fig3Rate, p, copts)
+		pi, err := core.OptimizeClusteringCached(d, fig3Rate, p, copts)
 		if err != nil {
 			return nil, err
 		}
@@ -107,26 +111,33 @@ func runFig3(id, title string, opts Options, info sim.Info) (*Table, error) {
 	}
 	table.Series = append(table.Series, upper)
 
-	for _, rc := range recharges {
-		s := Series{Name: rc.name, Y: make([]float64, len(caps))}
-		for i, k := range caps {
-			cfg := sim.Config{
-				Dist:        d,
-				Params:      p,
-				NewRecharge: rc.mk,
-				NewPolicy:   newVectorPolicy(info, vec),
-				BatteryCap:  k,
-				Slots:       opts.Slots,
-				Seed:        opts.Seed + uint64(i),
-				Info:        info,
-			}
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s with %s at K=%g: %w", id, rc.name, k, err)
-			}
-			s.Y[i] = res.QoM
+	// Fan the (recharge process × capacity) grid across the pool: every
+	// cell is an independent simulation whose seed depends only on its
+	// capacity index, exactly as in the sequential layout.
+	qoms, err := parallel.Map(opts.Workers, len(recharges)*len(caps), func(j int) (float64, error) {
+		rc := recharges[j/len(caps)]
+		i := j % len(caps)
+		cfg := sim.Config{
+			Dist:        d,
+			Params:      p,
+			NewRecharge: rc.mk,
+			NewPolicy:   newVectorPolicy(info, vec),
+			BatteryCap:  caps[i],
+			Slots:       opts.Slots,
+			Seed:        opts.Seed + uint64(i),
+			Info:        info,
 		}
-		table.Series = append(table.Series, s)
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return 0, fmt.Errorf("%s with %s at K=%g: %w", id, rc.name, caps[i], err)
+		}
+		return res.QoM, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, rc := range recharges {
+		table.Series = append(table.Series, Series{Name: rc.name, Y: qoms[r*len(caps) : (r+1)*len(caps)]})
 	}
 	return table, nil
 }

@@ -6,6 +6,7 @@ import (
 	"eventcap/internal/core"
 	"eventcap/internal/dist"
 	"eventcap/internal/energy"
+	"eventcap/internal/parallel"
 	"eventcap/internal/sim"
 )
 
@@ -38,11 +39,11 @@ func runFig4(id, title string, opts Options, d dist.Interarrival, cs []float64) 
 				d.Name(), fig4K, fig4Q, fig4Theta1, opts.Slots),
 		},
 	}
-	cluster := Series{Name: "pi'_PI", Y: make([]float64, len(cs))}
-	aggr := Series{Name: "pi_AG", Y: make([]float64, len(cs))}
-	peri := Series{Name: "pi_PE", Y: make([]float64, len(cs))}
-
-	for i, c := range cs {
+	// Each sweep point (one recharge amount c) is independent: optimize
+	// its policies and run its three simulations as one pool job.
+	points, err := parallel.Map(opts.Workers, len(cs), func(i int) ([]float64, error) {
+		ys := make([]float64, 3)
+		c := cs[i]
 		e := fig4Q * c
 		newRecharge := func() energy.Recharge {
 			r, _ := energy.NewBernoulli(fig4Q, c)
@@ -67,29 +68,33 @@ func runFig4(id, title string, opts Options, d dist.Interarrival, cs []float64) 
 
 		vec, _, err := robustClustering(d, e, p, opts, fig4K, newRecharge, opts.Seed+uint64(i))
 		if err != nil {
-			return nil, fmt.Errorf("%s: optimizing clustering at c=%g: %w", id, c, err)
+			return ys, fmt.Errorf("%s: optimizing clustering at c=%g: %w", id, c, err)
 		}
-		if cluster.Y[i], err = run(newVectorPolicy(sim.PartialInfo, vec), 1); err != nil {
-			return nil, err
+		if ys[0], err = run(newVectorPolicy(sim.PartialInfo, vec), 1); err != nil {
+			return ys, err
 		}
 
-		if aggr.Y[i], err = run(func(int) sim.Policy { return sim.Aggressive{} }, 2); err != nil {
-			return nil, err
+		if ys[1], err = run(func(int) sim.Policy { return sim.Aggressive{} }, 2); err != nil {
+			return ys, err
 		}
 
 		theta2, err := core.PeriodicTheta2(fig4Theta1, e, d, p)
 		if err != nil {
-			return nil, err
+			return ys, err
 		}
 		pe, err := sim.NewPeriodic(fig4Theta1, theta2)
 		if err != nil {
-			return nil, err
+			return ys, err
 		}
-		if peri.Y[i], err = run(func(int) sim.Policy { return pe }, 3); err != nil {
-			return nil, err
+		if ys[2], err = run(func(int) sim.Policy { return pe }, 3); err != nil {
+			return ys, err
 		}
+		return ys, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	table.Series = []Series{cluster, aggr, peri}
+	table.Series = seriesFromColumns(points, "pi'_PI", "pi_AG", "pi_PE")
 	return table, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"eventcap/internal/core"
 	"eventcap/internal/dist"
 	"eventcap/internal/energy"
+	"eventcap/internal/parallel"
 	"eventcap/internal/sim"
 )
 
@@ -40,11 +41,11 @@ func runFig5(id, title string, opts Options, b float64) (*Table, error) {
 				b, fig5E, fig5K, opts.Slots),
 		},
 	}
-	cluster := Series{Name: "pi'_PI", Y: make([]float64, len(as))}
-	ebcw := Series{Name: "pi_EBCW", Y: make([]float64, len(as))}
-	ebcwTuned := Series{Name: "pi_EBCW(tuned)", Y: make([]float64, len(as))}
-
-	for i, a := range as {
+	// One pool job per Markov burstiness level a: derive the renewal
+	// transformation, tune the three policies, run their simulations.
+	points, err := parallel.Map(opts.Workers, len(as), func(i int) ([]float64, error) {
+		ys := make([]float64, 3)
+		a := as[i]
 		mr, err := dist.NewMarkovRenewal(a, b)
 		if err != nil {
 			return nil, err
@@ -74,7 +75,7 @@ func runFig5(id, title string, opts Options, b float64) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: clustering at a=%g: %w", id, a, err)
 		}
-		if cluster.Y[i], err = run(newVectorPolicy(sim.PartialInfo, vec), 1); err != nil {
+		if ys[0], err = run(newVectorPolicy(sim.PartialInfo, vec), 1); err != nil {
 			return nil, err
 		}
 
@@ -82,7 +83,7 @@ func runFig5(id, title string, opts Options, b float64) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: EBCW at a=%g: %w", id, a, err)
 		}
-		if ebcw.Y[i], err = run(func(int) sim.Policy { return sim.NewEBCW(eb) }, 2); err != nil {
+		if ys[1], err = run(func(int) sim.Policy { return sim.NewEBCW(eb) }, 2); err != nil {
 			return nil, err
 		}
 
@@ -90,11 +91,15 @@ func runFig5(id, title string, opts Options, b float64) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: tuned EBCW at a=%g: %w", id, a, err)
 		}
-		if ebcwTuned.Y[i], err = run(func(int) sim.Policy { return sim.NewEBCW(ebT) }, 3); err != nil {
+		if ys[2], err = run(func(int) sim.Policy { return sim.NewEBCW(ebT) }, 3); err != nil {
 			return nil, err
 		}
+		return ys, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	table.Series = []Series{cluster, ebcw, ebcwTuned}
+	table.Series = seriesFromColumns(points, "pi'_PI", "pi_EBCW", "pi_EBCW(tuned)")
 	return table, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"eventcap/internal/core"
 	"eventcap/internal/dist"
 	"eventcap/internal/energy"
+	"eventcap/internal/parallel"
 	"eventcap/internal/sim"
 )
 
@@ -57,7 +58,7 @@ func fig6Point(opts Options, n int, c float64, seedBase uint64) (mfi, mpi, ag, p
 	}
 
 	// M-FI: greedy policy at the aggregate recharge rate.
-	fi, err := core.GreedyFI(d, aggregate, p)
+	fi, err := core.GreedyFICached(d, aggregate, p)
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
@@ -108,19 +109,19 @@ func runFig6(id, title, xlabel string, opts Options, points []float64, setting f
 		X:      points,
 		Notes:  []string{note + fmt.Sprintf(", K=%d, T=%d", fig6K, opts.Slots)},
 	}
-	mfiS := Series{Name: "M-FI", Y: make([]float64, len(points))}
-	mpiS := Series{Name: "M-PI", Y: make([]float64, len(points))}
-	agS := Series{Name: "pi_AG", Y: make([]float64, len(points))}
-	peS := Series{Name: "pi_PE", Y: make([]float64, len(points))}
-	for i, x := range points {
-		n, c := setting(x)
+	// Each (N, c) setting is one pool job measuring all four policies.
+	rows, err := parallel.Map(opts.Workers, len(points), func(i int) ([]float64, error) {
+		n, c := setting(points[i])
 		mfi, mpi, ag, pe, err := fig6Point(opts, n, c, opts.Seed+uint64(i)*10)
 		if err != nil {
-			return nil, fmt.Errorf("%s at %s=%g: %w", id, xlabel, x, err)
+			return nil, fmt.Errorf("%s at %s=%g: %w", id, xlabel, points[i], err)
 		}
-		mfiS.Y[i], mpiS.Y[i], agS.Y[i], peS.Y[i] = mfi, mpi, ag, pe
+		return []float64{mfi, mpi, ag, pe}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	table.Series = []Series{mfiS, mpiS, agS, peS}
+	table.Series = seriesFromColumns(rows, "M-FI", "M-PI", "pi_AG", "pi_PE")
 	return table, nil
 }
 

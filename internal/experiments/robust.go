@@ -6,6 +6,7 @@ import (
 	"eventcap/internal/core"
 	"eventcap/internal/dist"
 	"eventcap/internal/energy"
+	"eventcap/internal/parallel"
 	"eventcap/internal/sim"
 )
 
@@ -49,7 +50,7 @@ func robustClustering(
 	}
 	var cands []candidate
 	for _, o := range []core.ClusteringOptions{base, capped} {
-		pi, err := core.OptimizeClustering(d, e, p, o)
+		pi, err := core.OptimizeClusteringCached(d, e, p, o)
 		if err != nil {
 			return core.Vector{}, 0, fmt.Errorf("optimizing clustering (maxGap=%d): %w", o.MaxGap, err)
 		}
@@ -64,23 +65,32 @@ func robustClustering(
 	if opts.Quick {
 		pilotSlots = 50_000
 	}
-	bestIdx, bestQoM := -1, -1.0
-	for i, c := range cands {
+	// The two pilot runs are independent; fan them through the pool.
+	qoms, err := parallel.Map(opts.Workers, len(cands), func(i int) (float64, error) {
 		res, err := sim.Run(sim.Config{
 			Dist:        d,
 			Params:      p,
 			NewRecharge: newRecharge,
-			NewPolicy:   func(int) sim.Policy { return &sim.VectorPI{Vector: c.vec} },
+			NewPolicy:   func(int) sim.Policy { return &sim.VectorPI{Vector: cands[i].vec} },
 			BatteryCap:  capK,
 			Slots:       pilotSlots,
 			Seed:        seed ^ 0x9e3779b9, // decorrelate from the main run
 			Info:        sim.PartialInfo,
 		})
 		if err != nil {
-			return core.Vector{}, 0, fmt.Errorf("pilot simulation: %w", err)
+			return 0, fmt.Errorf("pilot simulation: %w", err)
 		}
-		if res.QoM > bestQoM {
-			bestIdx, bestQoM = i, res.QoM
+		return res.QoM, nil
+	})
+	if err != nil {
+		return core.Vector{}, 0, err
+	}
+	// Strict > with in-order scan: ties resolve to the lower index, the
+	// same winner a sequential pilot loop picks.
+	bestIdx, bestQoM := -1, -1.0
+	for i, q := range qoms {
+		if q > bestQoM {
+			bestIdx, bestQoM = i, q
 		}
 	}
 	return cands[bestIdx].vec, cands[bestIdx].u, nil

@@ -15,6 +15,7 @@ import (
 	"eventcap/internal/core"
 	"eventcap/internal/dist"
 	"eventcap/internal/energy"
+	"eventcap/internal/parallel"
 	"eventcap/internal/rng"
 )
 
@@ -193,6 +194,14 @@ type Config struct {
 	// Info is the observation model (default FullInfo).
 	Info Info
 
+	// Workers bounds the worker pool of the independent-sensor fast path
+	// (ModeAll + PartialInfo + N > 1, no Trace, no SampleEvery), where
+	// each sensor owns its own decision stream and evolves in isolation.
+	// 0 means one worker per CPU; 1 forces sequential execution. Results
+	// are identical for every value — the per-sensor decomposition, not
+	// the worker count, fixes the random streams.
+	Workers int
+
 	// Trace, if set, receives every slot's record. Use only with small
 	// Slots.
 	Trace func(TraceRecord)
@@ -263,10 +272,24 @@ func (c *Config) inCharge(t int64) int {
 	}
 }
 
+// independentSensors reports whether every sensor's trajectory is fully
+// decoupled from the others': under ModeAll + PartialInfo each sensor
+// sees only its own capture history, so once decision randomness is
+// per-sensor the simulations can run in any order (or concurrently).
+// Trace and SampleEvery need the interleaved per-slot view, so they stay
+// on the sequential engine.
+func (c *Config) independentSensors() bool {
+	return c.Mode == ModeAll && c.Info == PartialInfo && c.N > 1 &&
+		c.Trace == nil && c.SampleEvery == 0
+}
+
 // Run executes the simulation.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.independentSensors() {
+		return runIndependent(cfg)
 	}
 	root := rng.New(cfg.Seed, 0x5eed)
 	eventSrc := root.Split(1)
@@ -414,6 +437,119 @@ func Run(cfg Config) (*Result, error) {
 		st.EnergyConsumed = batteries[s].Consumed()
 		st.OverflowLost = batteries[s].OverflowLost()
 		st.FinalBattery = batteries[s].Level()
+	}
+	if res.Events > 0 {
+		res.QoM = float64(res.Captures) / float64(res.Events)
+	}
+	return res, nil
+}
+
+// runIndependent simulates uncoordinated PartialInfo sensors with one
+// pool job per sensor. The event trajectory is drawn once up front (all
+// sensors watch the same PoI) and each sensor gets its own decision
+// stream root.Split(200+s), so the run is deterministic for any worker
+// count. Note the seed layout differs from the sequential engine's
+// shared decision stream: this configuration's outputs are reproducible
+// against themselves, not against a hypothetical shared-stream run.
+func runIndependent(cfg Config) (*Result, error) {
+	root := rng.New(cfg.Seed, 0x5eed)
+	eventSrc := root.Split(1)
+	_ = root.Split(2) // keep recharge streams aligned with the sequential layout
+	rechargeSrcs := make([]*rng.Source, cfg.N)
+	for s := 0; s < cfg.N; s++ {
+		rechargeSrcs[s] = root.Split(uint64(100 + s))
+	}
+	decisionSrcs := make([]*rng.Source, cfg.N)
+	for s := 0; s < cfg.N; s++ {
+		decisionSrcs[s] = root.Split(uint64(200 + s))
+	}
+
+	// One shared event trajectory, drawn exactly as the sequential engine
+	// draws it (an assumed event at slot 0 seeds the first gap).
+	var eventSlots []int64
+	for t := int64(cfg.Dist.Sample(eventSrc)); t <= cfg.Slots; t += int64(cfg.Dist.Sample(eventSrc)) {
+		eventSlots = append(eventSlots, t)
+	}
+
+	cost := cfg.Params.ActivationCost()
+	type sensorOut struct {
+		stats    SensorStats
+		captured []bool // indexed like eventSlots
+	}
+	outs, err := parallel.Map(cfg.Workers, cfg.N, func(s int) (sensorOut, error) {
+		b, err := energy.NewBattery(cfg.BatteryCap, cfg.InitialBattery)
+		if err != nil {
+			return sensorOut{}, err
+		}
+		recharge := cfg.NewRecharge()
+		pol := cfg.NewPolicy(s)
+		pol.Reset()
+		rSrc, dSrc := rechargeSrcs[s], decisionSrcs[s]
+		failSlot := int64(math.MaxInt64)
+		if fs, ok := cfg.FailAt[s]; ok {
+			failSlot = fs
+		}
+		out := sensorOut{captured: make([]bool, len(eventSlots))}
+		lastCapture := int64(0)
+		ei := 0
+		for t := int64(1); t <= cfg.Slots && t < failSlot; t++ {
+			b.Recharge(recharge.Next(rSrc))
+			event := ei < len(eventSlots) && eventSlots[ei] == t
+			st := SlotState{
+				Slot:         t,
+				SinceEvent:   -1,
+				SinceCapture: int(t - lastCapture),
+				Battery:      b.Level(),
+			}
+			p := pol.ActivationProb(st)
+			switch {
+			case p <= 0 || !dSrc.Bernoulli(p):
+				pol.Observe(outcomeFor(cfg.Info, false, event, false))
+			case !b.CanConsume(cost):
+				out.stats.Denied++
+				pol.Observe(outcomeFor(cfg.Info, false, event, false))
+			default:
+				b.Consume(cfg.Params.Delta1)
+				out.stats.Activations++
+				if event {
+					b.Consume(cfg.Params.Delta2)
+					out.stats.Captures++
+					out.captured[ei] = true
+					lastCapture = t
+				}
+				pol.Observe(outcomeFor(cfg.Info, true, event, event))
+			}
+			if event {
+				ei++
+			}
+		}
+		out.stats.EnergyConsumed = b.Consumed()
+		out.stats.OverflowLost = b.OverflowLost()
+		out.stats.FinalBattery = b.Level()
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Slots:   cfg.Slots,
+		Events:  int64(len(eventSlots)),
+		Sensors: make([]SensorStats, cfg.N),
+	}
+	capturedAny := make([]bool, len(eventSlots))
+	for s, o := range outs {
+		res.Sensors[s] = o.stats
+		for i, c := range o.captured {
+			if c {
+				capturedAny[i] = true
+			}
+		}
+	}
+	for _, c := range capturedAny {
+		if c {
+			res.Captures++
+		}
 	}
 	if res.Events > 0 {
 		res.QoM = float64(res.Captures) / float64(res.Events)
