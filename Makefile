@@ -1,0 +1,43 @@
+# Development targets. `make check` is the gate a change must pass:
+# vet + build + full test suite + race-enabled library tests + a
+# one-iteration benchmark smoke to catch bit-rot in the bench harness.
+
+GO ?= go
+
+.PHONY: all check vet build test race bench-smoke bench bench-kernel-json clean
+
+all: check
+
+check: vet build test race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# -short skips the long single-threaded solver sweeps (they exercise no
+# concurrency); the kernel equivalence tests always run. The raised
+# timeout absorbs the race detector's slowdown on small CI machines.
+race:
+	$(GO) test -race -short -timeout 1200s ./internal/...
+
+# One iteration of each throughput benchmark: verifies the bench code
+# still compiles and runs, without paying for a real measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'SlotsPerOp' -benchtime 1x .
+
+# Full measurement of the kernel and reference engines.
+bench:
+	$(GO) test -run '^$$' -bench 'SlotsPerOp' -benchtime 5x -count 3 .
+
+# Regenerate BENCH_kernel.json (kernel vs reference on the sparse
+# configuration; see EXPERIMENTS.md).
+bench-kernel-json:
+	BENCH_KERNEL_JSON=BENCH_kernel.json $(GO) test -run TestEmitBenchKernelJSON -count=1 -v .
+
+clean:
+	$(GO) clean ./...

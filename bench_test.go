@@ -92,8 +92,11 @@ func BenchmarkPolicyOptimizeEBCW(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulatorSlotsPerOp measures raw simulation throughput
-// (slots/op is Slots; see ns/op for per-slot cost).
+// BenchmarkSimulatorSlotsPerOp measures raw reference-engine throughput
+// (slots/op is Slots; see ns/op for per-slot cost). It pins
+// EngineReference so it keeps tracking the interpreted per-slot loop;
+// BenchmarkKernelSlotsPerOp in bench_kernel_test.go covers the compiled
+// kernel on the same configuration.
 func BenchmarkSimulatorSlotsPerOp(b *testing.B) {
 	d, err := dist.NewWeibull(40, 3)
 	if err != nil {
@@ -117,6 +120,7 @@ func BenchmarkSimulatorSlotsPerOp(b *testing.B) {
 			BatteryCap: 1000,
 			Slots:      1_000_000,
 			Seed:       uint64(i + 1),
+			Engine:     sim.EngineReference,
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -20,8 +20,10 @@ import (
 	"strings"
 	"time"
 
+	"eventcap/internal/cliutil"
 	"eventcap/internal/experiments"
 	"eventcap/internal/parallel"
+	"eventcap/internal/sim"
 )
 
 func main() {
@@ -41,10 +43,27 @@ func run(args []string, out io.Writer) error {
 		slots   = fs.Int64("slots", 0, "override simulation length T (default 1e6; 1e5 with -quick)")
 		seed    = fs.Uint64("seed", 1, "random seed")
 		workers = fs.Int("workers", 0, "worker pool size for sweep points (0 = one per CPU; results are identical for any value)")
+		kernel  = fs.String("kernel", "auto", "simulation engine: auto (compiled kernel when eligible) | on (force kernel) | off (reference engine)")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	engine, err := sim.ParseEngine(*kernel)
+	if err != nil {
+		return err
+	}
+	stopProfiles, err := cliutil.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	profilesStopped := false
+	defer func() {
+		if !profilesStopped {
+			stopProfiles()
+		}
+	}()
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -76,7 +95,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	opts := experiments.Options{Slots: *slots, Seed: *seed, Quick: *quick, Workers: *workers}
+	opts := experiments.Options{Slots: *slots, Seed: *seed, Quick: *quick, Workers: *workers, Engine: engine}
 	for _, exp := range selected {
 		start := time.Now()
 		table, err := exp.Run(opts)
@@ -98,5 +117,6 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "wrote %s\n\n", path)
 		}
 	}
-	return nil
+	profilesStopped = true
+	return stopProfiles()
 }

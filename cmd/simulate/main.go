@@ -44,10 +44,27 @@ func run(args []string) error {
 		delta2   = fs.Float64("delta2", 6, "extra energy per capture")
 		theta1   = fs.Int("theta1", 3, "theta1 for the periodic policy")
 		workers  = fs.Int("workers", 0, "worker pool size for the independent-sensor fast path (0 = one per CPU)")
+		kernel   = fs.String("kernel", "auto", "simulation engine: auto (compiled kernel when eligible) | on (force kernel) | off (reference engine)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	engine, err := sim.ParseEngine(*kernel)
+	if err != nil {
+		return err
+	}
+	stopProfiles, err := cliutil.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	profilesStopped := false
+	defer func() {
+		if !profilesStopped {
+			stopProfiles()
+		}
+	}()
 
 	d, err := cliutil.ParseDist(*distSpec)
 	if err != nil {
@@ -85,6 +102,7 @@ func run(args []string) error {
 		Seed:        *seed,
 		Info:        info,
 		Workers:     *workers,
+		Engine:      engine,
 	}
 	switch *mode {
 	case "roundrobin":
@@ -176,5 +194,6 @@ func run(args []string) error {
 		fmt.Printf("sensor %-2d  activations=%d captures=%d denied=%d energyUsed=%.0f battery=%.1f\n",
 			i+1, s.Activations, s.Captures, s.Denied, s.EnergyConsumed, s.FinalBattery)
 	}
-	return nil
+	profilesStopped = true
+	return stopProfiles()
 }

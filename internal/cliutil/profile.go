@@ -1,0 +1,47 @@
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles begins CPU profiling into cpuPath and arranges a heap
+// profile to be written to memPath; either path may be empty to disable
+// that profile. The returned stop function must run exactly once, after
+// the profiled work (it stops the CPU profile, forces a GC so the heap
+// profile reflects live data, and writes the heap profile).
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cliutil: starting CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cliutil: closing CPU profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			memFile, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("cliutil: creating heap profile: %w", err)
+			}
+			defer memFile.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(memFile); err != nil {
+				return fmt.Errorf("cliutil: writing heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -135,6 +135,9 @@ func TestEvaluatePIGeometric(t *testing.T) {
 }
 
 func TestOptimizeClusteringFeasibleAndStrong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow solver sweep")
+	}
 	d := mustWeibull(t, 40, 3)
 	p := DefaultParams()
 	for _, e := range []float64{0.2, 0.5, 0.8} {
@@ -172,6 +175,9 @@ func TestOptimizeClusteringFeasibleAndStrong(t *testing.T) {
 }
 
 func TestOptimizeClusteringMonotoneInRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow solver sweep")
+	}
 	d := mustWeibull(t, 40, 3)
 	p := DefaultParams()
 	prev := -1.0
@@ -218,6 +224,9 @@ func TestOptimizeClusteringDeterministicEvents(t *testing.T) {
 }
 
 func TestOptimizeClusteringLowEnergyUsesCooling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow solver sweep")
+	}
 	d := mustWeibull(t, 40, 3)
 	p := DefaultParams()
 	res, err := OptimizeClustering(d, 0.05, p, ClusteringOptions{})

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// UnboundedRun is the saturating run length an ActivationTable reports for
+// states inside an infinite zero tail: the policy never activates again no
+// matter how far the state advances. It is far below math.MaxInt64 so
+// callers may add slot offsets to it without overflow.
+const UnboundedRun = math.MaxInt64 / 4
+
+// ActivationTable is a Vector compiled for the simulation kernel: a dense
+// probability array plus, for every state, the length of the run of
+// consecutive zero-probability states starting there. The kernel uses the
+// run lengths to fast-forward sleep intervals — a run of z zero states
+// means z slots with no activation draw and no battery consumption, so the
+// whole stretch can be applied to the battery in one step.
+type ActivationTable struct {
+	// Prob[i-1] is the activation probability in state i, for states
+	// 1..len(Prob); Tail applies to every later state.
+	Prob []float64
+	Tail float64
+	// ZeroRun[i-1] is the number of consecutive states starting at i whose
+	// probability is zero (0 when Prob[i-1] > 0). A run that extends into a
+	// zero Tail saturates at UnboundedRun.
+	ZeroRun []int64
+}
+
+// CompileVector compiles v into an ActivationTable. It fails when v has an
+// out-of-range probability, so callers can fall back to an uncompiled path
+// instead of simulating a malformed policy.
+func CompileVector(v Vector) (*ActivationTable, error) {
+	if err := v.Validate(); err != nil {
+		return nil, fmt.Errorf("core: cannot compile activation vector: %w", err)
+	}
+	t := &ActivationTable{
+		Prob:    make([]float64, len(v.Prefix)),
+		Tail:    v.Tail,
+		ZeroRun: make([]int64, len(v.Prefix)),
+	}
+	copy(t.Prob, v.Prefix)
+	// Walk backwards so each state's run extends the next state's run.
+	var run int64
+	if t.Tail == 0 {
+		run = UnboundedRun
+	}
+	for i := len(t.Prob) - 1; i >= 0; i-- {
+		if t.Prob[i] > 0 {
+			run = 0
+		} else if run < UnboundedRun {
+			run++
+		}
+		t.ZeroRun[i] = run
+	}
+	return t, nil
+}
+
+// At returns the activation probability for state i (0 for i < 1,
+// mirroring Vector.At).
+func (t *ActivationTable) At(i int) float64 {
+	if i < 1 {
+		return 0
+	}
+	if i <= len(t.Prob) {
+		return t.Prob[i-1]
+	}
+	return t.Tail
+}
+
+// ZeroRunFrom returns how many consecutive states starting at i have zero
+// activation probability: 0 when state i itself can activate, UnboundedRun
+// when the policy stays silent forever from i on. States below 1 are
+// treated as state 1 (Vector.At is zero there only for i < 1, which no
+// simulated state reaches).
+func (t *ActivationTable) ZeroRunFrom(i int) int64 {
+	if i < 1 {
+		i = 1
+	}
+	if i <= len(t.ZeroRun) {
+		return t.ZeroRun[i-1]
+	}
+	if t.Tail == 0 {
+		return UnboundedRun
+	}
+	return 0
+}

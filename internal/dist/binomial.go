@@ -1,0 +1,96 @@
+package dist
+
+import (
+	"math"
+
+	"eventcap/internal/rng"
+)
+
+// SampleBinomial draws the number of successes in n Bernoulli(p) trials
+// with O(min(np, sqrt(n p (1-p)))) expected work instead of n individual
+// draws. The simulation kernel uses it to fast-forward Bernoulli recharge
+// across a sleep run: the battery only needs the run's success count, not
+// the per-slot sequence, and the count's law is exactly Binomial(n, p).
+//
+// The sampler is exact (no normal approximation): small expected counts
+// jump between successes with geometric gaps; larger ones invert the CDF
+// walking outward from the mode with incremental PMF ratios. Values of p
+// outside [0, 1] are clamped. It allocates nothing.
+func SampleBinomial(src *rng.Source, n int64, p float64) int64 {
+	if n <= 0 || p <= 0 || math.IsNaN(p) {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	// Exploit symmetry so the walk always works on the smaller tail.
+	if p > 0.5 {
+		return n - SampleBinomial(src, n, 1-p)
+	}
+	if float64(n)*p < 24 {
+		return binomialByGeometricGaps(src, n, p)
+	}
+	return binomialByModeInversion(src, n, p)
+}
+
+// binomialByGeometricGaps counts successes by jumping over the failures
+// between them: each gap is Geometric(p), so the expected number of draws
+// is np + 1.
+func binomialByGeometricGaps(src *rng.Source, n int64, p float64) int64 {
+	var count, pos int64
+	for {
+		pos += src.Geometric(p) + 1
+		if pos > n {
+			return count
+		}
+		count++
+	}
+}
+
+// binomialByModeInversion inverts the Binomial CDF with a single uniform,
+// accumulating PMF mass outward from the mode. The PMF is seeded once via
+// log-gamma and extended by the exact ratio recurrences
+// f(k+1)/f(k) = (n-k)/(k+1) * p/q, so each step costs a few flops; the
+// walk terminates after O(sqrt(npq)) steps with overwhelming probability.
+func binomialByModeInversion(src *rng.Source, n int64, p float64) int64 {
+	q := 1 - p
+	mode := int64(math.Floor(float64(n+1) * p))
+	if mode > n {
+		mode = n
+	}
+	lg := func(x int64) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	fm := math.Exp(lg(n) - lg(mode) - lg(n-mode) +
+		float64(mode)*math.Log(p) + float64(n-mode)*math.Log(q))
+
+	u := src.Float64()
+	u -= fm
+	if u < 0 {
+		return mode
+	}
+	lo, hi := mode, mode
+	flo, fhi := fm, fm
+	for lo > 0 || hi < n {
+		if hi < n {
+			fhi *= float64(n-hi) / float64(hi+1) * p / q
+			hi++
+			u -= fhi
+			if u < 0 {
+				return hi
+			}
+		}
+		if lo > 0 {
+			flo *= float64(lo) / float64(n-lo+1) * q / p
+			lo--
+			u -= flo
+			if u < 0 {
+				return lo
+			}
+		}
+	}
+	// Numerically exhausted the support (u was within rounding of 1);
+	// the mode is the least-surprising answer.
+	return mode
+}

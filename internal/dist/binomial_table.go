@@ -1,0 +1,78 @@
+package dist
+
+import (
+	"math"
+	"sort"
+
+	"eventcap/internal/rng"
+)
+
+// BinomialTable samples Binomial(n, p) for a fixed p and any n up to a
+// precomputed bound with a single uniform draw and a binary search — no
+// logarithms in the hot path. The simulation kernel prepares one per run:
+// sleep-run lengths repeat heavily and stay small, so the O(maxN²) table
+// build (a few microseconds) amortizes across tens of thousands of draws
+// that would otherwise each pay SampleBinomial's geometric-gap or
+// mode-inversion transcendentals. Values of n beyond the bound fall back
+// to SampleBinomial.
+type BinomialTable struct {
+	p float64
+	// cum[n-1][k] = P(X <= k) for X ~ Binomial(n, p); the last entry is
+	// pinned to 1 so a uniform in [0,1) can never search past the support.
+	cum [][]float64
+}
+
+// NewBinomialTable builds the table for success probability p (clamped to
+// [0, 1]) covering 1 <= n <= maxN. Degenerate p needs no randomness, so
+// the table stays empty and Sample short-circuits.
+func NewBinomialTable(p float64, maxN int) *BinomialTable {
+	t := &BinomialTable{p: p}
+	if maxN < 1 || !(p > 0) || p >= 1 || math.IsNaN(p) {
+		return t
+	}
+	q := 1 - p
+	ratio := p / q
+	t.cum = make([][]float64, maxN)
+	for n := 1; n <= maxN; n++ {
+		row := make([]float64, n+1)
+		// PMF by the exact ratio recurrence f(k+1) = f(k)·(n-k)/(k+1)·p/q,
+		// accumulated in place.
+		f := math.Pow(q, float64(n))
+		acc := f
+		row[0] = acc
+		for k := 0; k < n; k++ {
+			f *= float64(n-k) / float64(k+1) * ratio
+			acc += f
+			row[k+1] = acc
+		}
+		row[n] = 1
+		t.cum[n-1] = row
+	}
+	return t
+}
+
+// P returns the success probability the table was built for.
+func (t *BinomialTable) P() float64 { return t.p }
+
+// MaxN returns the largest n the table covers directly.
+func (t *BinomialTable) MaxN() int { return len(t.cum) }
+
+// Sample draws Binomial(n, p). Within the precomputed range it consumes
+// exactly one uniform; beyond it, it delegates to SampleBinomial.
+func (t *BinomialTable) Sample(src *rng.Source, n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if !(t.p > 0) {
+		return 0
+	}
+	if t.p >= 1 {
+		return n
+	}
+	if n <= int64(len(t.cum)) {
+		row := t.cum[n-1]
+		u := src.Float64()
+		return int64(sort.SearchFloat64s(row, u))
+	}
+	return SampleBinomial(src, n, t.p)
+}

@@ -1,0 +1,132 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"eventcap/internal/rng"
+)
+
+// binomialPMF computes the exact Binomial(n, p) PMF via log-gamma, as an
+// independent check on the table's ratio-recurrence construction.
+func binomialPMF(n, k int, p float64) float64 {
+	lg := func(x float64) float64 {
+		v, _ := math.Lgamma(x)
+		return v
+	}
+	logC := lg(float64(n+1)) - lg(float64(k+1)) - lg(float64(n-k+1))
+	return math.Exp(logC + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p))
+}
+
+func TestBinomialTableCDFMatchesExactPMF(t *testing.T) {
+	for _, p := range []float64{0.05, 0.1, 0.3, 0.5, 0.75, 0.95} {
+		tab := NewBinomialTable(p, 64)
+		if tab.MaxN() != 64 {
+			t.Fatalf("p=%g: MaxN = %d, want 64", p, tab.MaxN())
+		}
+		for _, n := range []int{1, 2, 7, 33, 64} {
+			acc := 0.0
+			for k := 0; k <= n; k++ {
+				acc += binomialPMF(n, k, p)
+				got := tab.cum[n-1][k]
+				want := acc
+				if k == n {
+					want = 1 // pinned so a uniform can never run off the end
+				}
+				if math.Abs(got-want) > 1e-9 {
+					t.Errorf("p=%g n=%d: cum[%d] = %.12f, want %.12f", p, n, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBinomialTableSampleLaw(t *testing.T) {
+	const (
+		p     = 0.3
+		n     = 50
+		draws = 200_000
+	)
+	tab := NewBinomialTable(p, n)
+	src := rng.New(99, 7)
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		k := tab.Sample(src, n)
+		if k < 0 || k > n {
+			t.Fatalf("draw %d outside support [0, %d]", k, n)
+		}
+		sum += float64(k)
+		sumSq += float64(k) * float64(k)
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	wantMean := float64(n) * p
+	wantVar := float64(n) * p * (1 - p)
+	// 6-sigma band on the sample mean.
+	if tol := 6 * math.Sqrt(wantVar/draws); math.Abs(mean-wantMean) > tol {
+		t.Errorf("sample mean %.4f, want %.4f +/- %.4f", mean, wantMean, tol)
+	}
+	if math.Abs(variance-wantVar) > 0.05*wantVar {
+		t.Errorf("sample variance %.4f, want %.4f within 5%%", variance, wantVar)
+	}
+}
+
+func TestBinomialTableSampleConsumesOneUniform(t *testing.T) {
+	tab := NewBinomialTable(0.4, 16)
+	probe := rng.New(5, 11)
+	witness := rng.New(5, 11)
+	for n := int64(1); n <= 16; n++ {
+		tab.Sample(probe, n)
+		witness.Float64()
+		// The check draw advances both streams equally, so they stay in
+		// lockstep across iterations.
+		if probe.Uint64() != witness.Uint64() {
+			t.Fatalf("n=%d: in-range Sample consumed more than one uniform", n)
+		}
+	}
+}
+
+func TestBinomialTableFallbackBeyondMaxN(t *testing.T) {
+	const p = 0.3
+	tab := NewBinomialTable(p, 8)
+	probe := rng.New(21, 3)
+	witness := rng.New(21, 3)
+	for i := 0; i < 50; i++ {
+		got := tab.Sample(probe, 100)
+		want := SampleBinomial(witness, 100, p)
+		if got != want {
+			t.Fatalf("draw %d: fallback Sample = %d, SampleBinomial = %d", i, got, want)
+		}
+	}
+}
+
+func TestBinomialTableDegenerate(t *testing.T) {
+	src := rng.New(1, 2)
+	witness := rng.New(1, 2)
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		tab := NewBinomialTable(p, 32)
+		if tab.MaxN() != 0 {
+			t.Errorf("p=%g: degenerate table has MaxN %d, want 0", p, tab.MaxN())
+		}
+		got := tab.Sample(src, 10)
+		var want int64
+		if p >= 1 {
+			want = 10
+		}
+		if got != want {
+			t.Errorf("p=%g: Sample = %d, want %d", p, got, want)
+		}
+		// Degenerate sampling must consume no randomness; the check draw
+		// advances both streams equally.
+		if src.Uint64() != witness.Uint64() {
+			t.Fatalf("p=%g: degenerate Sample consumed randomness", p)
+		}
+	}
+	tab := NewBinomialTable(0.5, 32)
+	if got := tab.Sample(src, 0); got != 0 {
+		t.Errorf("Sample(n=0) = %d, want 0", got)
+	}
+	if got := tab.Sample(src, -3); got != 0 {
+		t.Errorf("Sample(n=-3) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,107 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"eventcap/internal/rng"
+)
+
+func TestSampleBinomialEdgeCases(t *testing.T) {
+	src := rng.New(1, 1)
+	if got := SampleBinomial(src, 0, 0.5); got != 0 {
+		t.Fatalf("n=0: got %d", got)
+	}
+	if got := SampleBinomial(src, 10, 0); got != 0 {
+		t.Fatalf("p=0: got %d", got)
+	}
+	if got := SampleBinomial(src, 10, 1); got != 10 {
+		t.Fatalf("p=1: got %d", got)
+	}
+	if got := SampleBinomial(src, -3, 0.5); got != 0 {
+		t.Fatalf("n<0: got %d", got)
+	}
+}
+
+func TestSampleBinomialDeterministic(t *testing.T) {
+	a, b := rng.New(42, 7), rng.New(42, 7)
+	for i := 0; i < 200; i++ {
+		x, y := SampleBinomial(a, 50, 0.3), SampleBinomial(b, 50, 0.3)
+		if x != y {
+			t.Fatalf("draw %d: %d != %d for identical sources", i, x, y)
+		}
+	}
+}
+
+// TestSampleBinomialMoments checks mean and variance for both sampler
+// paths (geometric gaps for small np, mode inversion for large) and for
+// the p > 0.5 symmetry reduction.
+func TestSampleBinomialMoments(t *testing.T) {
+	cases := []struct {
+		n int64
+		p float64
+	}{
+		{30, 0.5},   // kernel's typical sleep run: geometric path
+		{12, 0.1},   // tiny np
+		{500, 0.4},  // mode-inversion path
+		{2000, 0.5}, // large symmetric
+		{100, 0.85}, // symmetry reduction
+	}
+	src := rng.New(2024, 11)
+	const draws = 40000
+	for _, tc := range cases {
+		var sum, sumSq float64
+		for i := 0; i < draws; i++ {
+			x := SampleBinomial(src, tc.n, tc.p)
+			if x < 0 || x > tc.n {
+				t.Fatalf("n=%d p=%g: draw %d out of range", tc.n, tc.p, x)
+			}
+			f := float64(x)
+			sum += f
+			sumSq += f * f
+		}
+		mean := sum / draws
+		variance := sumSq/draws - mean*mean
+		wantMean := float64(tc.n) * tc.p
+		wantVar := wantMean * (1 - tc.p)
+		// 5-sigma band on the sample mean; generous band on variance.
+		meanTol := 5 * math.Sqrt(wantVar/draws)
+		if math.Abs(mean-wantMean) > meanTol {
+			t.Errorf("n=%d p=%g: mean %v, want %v +- %v", tc.n, tc.p, mean, wantMean, meanTol)
+		}
+		if variance < 0.9*wantVar || variance > 1.1*wantVar {
+			t.Errorf("n=%d p=%g: variance %v, want ~%v", tc.n, tc.p, variance, wantVar)
+		}
+	}
+}
+
+// TestSampleBinomialMatchesExactCDF compares the sampled law against the
+// exact Binomial PMF with a chi-square-style max-cell-error check, for
+// one configuration per internal path.
+func TestSampleBinomialMatchesExactCDF(t *testing.T) {
+	for _, tc := range []struct {
+		n int64
+		p float64
+	}{{20, 0.3}, {200, 0.5}} {
+		src := rng.New(99, uint64(tc.n))
+		const draws = 60000
+		counts := make(map[int64]int)
+		for i := 0; i < draws; i++ {
+			counts[SampleBinomial(src, tc.n, tc.p)]++
+		}
+		q := 1 - tc.p
+		lg := func(x int64) float64 { v, _ := math.Lgamma(float64(x + 1)); return v }
+		for k := int64(0); k <= tc.n; k++ {
+			pmf := math.Exp(lg(tc.n) - lg(k) - lg(tc.n-k) +
+				float64(k)*math.Log(tc.p) + float64(tc.n-k)*math.Log(q))
+			if pmf < 1e-4 {
+				continue // too little mass for a stable frequency estimate
+			}
+			got := float64(counts[k]) / draws
+			sigma := math.Sqrt(pmf * (1 - pmf) / draws)
+			if math.Abs(got-pmf) > 6*sigma+1e-4 {
+				t.Errorf("n=%d p=%g k=%d: freq %v, pmf %v", tc.n, tc.p, k, got, pmf)
+			}
+		}
+	}
+}

@@ -7,7 +7,10 @@
 // consumption amounts in the paper (δ1 = 1, δ2 = 6) are integral.
 package energy
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Battery is the sensor's energy bucket. The zero value is unusable;
 // construct with NewBattery. Not safe for concurrent use: each simulated
@@ -78,6 +81,60 @@ func (b *Battery) Consume(amount float64) bool {
 		b.level = 0
 	}
 	b.consumed += amount
+	return true
+}
+
+// rechargeGrid is the dyadic grid (multiples of 2^-20) on which RechargeN
+// can prove that its closed form reproduces sequential rounding exactly,
+// and gridMax bounds every intermediate magnitude so scaled integers stay
+// far below 2^53 (sums of two in-range values stay below 2^52 scaled).
+const (
+	rechargeGrid = 1 << 20
+	gridMax      = 1 << 31
+)
+
+// onRechargeGrid reports whether v is a nonnegative multiple of 2^-20 no
+// larger than gridMax. Sums and differences of such values below gridMax
+// are exact in float64, which is what makes RechargeN's closed form
+// bit-identical to a sequential loop.
+func onRechargeGrid(v float64) bool {
+	if v < 0 || v > gridMax || math.IsNaN(v) {
+		return false
+	}
+	s := v * rechargeGrid
+	return s == math.Trunc(s)
+}
+
+// RechargeN applies n consecutive Recharge(amount) calls in O(1). It
+// returns false — leaving the battery untouched — when it cannot prove the
+// closed form rounds identically to the sequential loop (off-grid values
+// or magnitudes near the exactness bound); callers fall back to iterating.
+//
+// The closed form relies on recharge being monotone: during a pure
+// recharge run the level only rises, so the total overflow depends only on
+// the delivered total, never on the ordering of deliveries:
+// overflow = max(0, level + n·amount − capacity).
+func (b *Battery) RechargeN(amount float64, n int64) bool {
+	if n <= 0 || amount <= 0 {
+		return true // Recharge ignores non-positive amounts
+	}
+	total := amount * float64(n)
+	if float64(n) > gridMax ||
+		!onRechargeGrid(amount) || !onRechargeGrid(b.level) ||
+		!onRechargeGrid(b.capacity) || !onRechargeGrid(b.received) ||
+		!onRechargeGrid(b.overflowLost) ||
+		!onRechargeGrid(total) || b.received+total > gridMax ||
+		b.level+total > gridMax || b.overflowLost+total > gridMax {
+		return false
+	}
+	b.received += total
+	headroom := b.capacity - b.level
+	if total <= headroom {
+		b.level += total
+		return true
+	}
+	b.overflowLost += total - headroom
+	b.level = b.capacity
 	return true
 }
 

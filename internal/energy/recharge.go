@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"eventcap/internal/dist"
 	"eventcap/internal/rng"
 )
 
@@ -20,11 +21,41 @@ type Recharge interface {
 	Name() string
 }
 
+// FastForwarder is implemented by recharge processes that can apply n
+// consecutive slots of recharge to a battery without iterating the slots.
+// The simulation kernel uses it to skip zero-activation sleep runs.
+//
+// The contract: after FastForward(b, n, src) the battery's externally
+// visible totals (Level, Received, OverflowLost) must match n sequential
+// Recharge(Next(src)) calls — bit-identically for deterministic processes
+// (Constant, Periodic, and Bernoulli with q of 0 or 1), and equal in law
+// for stochastic ones. Equality in law is sound during a sleep run because
+// the level is monotone there: overflow depends only on the delivered
+// total, never on where inside the run the deliveries land. Stochastic
+// implementations may consume src differently than n Next calls would;
+// each sensor owns a dedicated recharge stream, so no other stream shifts.
+type FastForwarder interface {
+	Recharge
+	// FastForward advances the process by n slots, recharging b.
+	FastForward(b *Battery, n int64, src *rng.Source)
+}
+
+// FastForwardPreparer is optionally implemented by fast-forwardable
+// processes that benefit from precomputation. The kernel calls
+// PrepareFastForward once per run with the largest sleep-run length it
+// expects to batch, before any FastForward call; the hint only affects
+// speed, never the sampled law.
+type FastForwardPreparer interface {
+	FastForwarder
+	PrepareFastForward(maxN int)
+}
+
 // Bernoulli recharges c units with probability q each slot — the paper's
 // default recharge model (Fig. 3 "Poisson" curve and all of Figs. 4–6).
 type Bernoulli struct {
-	q, c float64
-	name string
+	q, c  float64
+	name  string
+	table *dist.BinomialTable
 }
 
 var _ Recharge = (*Bernoulli)(nil)
@@ -54,6 +85,51 @@ func (b *Bernoulli) Mean() float64 { return b.q * b.c }
 
 // Name implements Recharge.
 func (b *Bernoulli) Name() string { return b.name }
+
+// Q returns the per-slot delivery probability.
+func (b *Bernoulli) Q() float64 { return b.q }
+
+// C returns the per-delivery amount.
+func (b *Bernoulli) C() float64 { return b.c }
+
+var _ FastForwardPreparer = (*Bernoulli)(nil)
+
+// PrepareFastForward implements FastForwardPreparer: it precomputes
+// Binomial CDF tables so each in-range FastForward costs one uniform and
+// a binary search instead of per-gap logarithms.
+func (b *Bernoulli) PrepareFastForward(maxN int) {
+	if b.table == nil || b.table.MaxN() < maxN {
+		b.table = dist.NewBinomialTable(b.q, maxN)
+	}
+}
+
+// FastForward implements FastForwarder. The number of deliveries across n
+// independent Bernoulli(q) slots is exactly Binomial(n, q), so one batch
+// draw replaces n per-slot draws; degenerate q needs no randomness at all.
+func (b *Bernoulli) FastForward(bat *Battery, n int64, src *rng.Source) {
+	if n <= 0 {
+		return
+	}
+	var m int64
+	switch {
+	case b.q <= 0:
+		m = 0
+	case b.q >= 1:
+		m = n
+	case b.table != nil:
+		m = b.table.Sample(src, n)
+	default:
+		m = dist.SampleBinomial(src, n, b.q)
+	}
+	if m == 0 || b.c <= 0 {
+		return
+	}
+	if !bat.RechargeN(b.c, m) {
+		for i := int64(0); i < m; i++ {
+			bat.Recharge(b.c)
+		}
+	}
+}
 
 // Periodic recharges amount units every period slots (the paper's
 // "Periodic" model: 5 units every 10 slots). It is stateful: the phase
@@ -102,6 +178,26 @@ func (p *Periodic) Name() string { return p.name }
 // Reset restores the initial phase, for reuse across simulation runs.
 func (p *Periodic) Reset() { p.phase = 0 }
 
+var _ FastForwarder = (*Periodic)(nil)
+
+// FastForward implements FastForwarder. Across n slots starting at the
+// current phase the process delivers floor((phase+n)/period) times; the
+// intermediate zero-amount slots are no-ops on the battery, so delivering
+// the lump sums back-to-back reproduces the sequential run bit for bit.
+func (p *Periodic) FastForward(b *Battery, n int64, _ *rng.Source) {
+	if n <= 0 {
+		return
+	}
+	advanced := int64(p.phase) + n
+	deliveries := advanced / int64(p.period)
+	p.phase = int(advanced % int64(p.period))
+	if !b.RechargeN(p.amount, deliveries) {
+		for i := int64(0); i < deliveries; i++ {
+			b.Recharge(p.amount)
+		}
+	}
+}
+
 // Constant recharges the same amount every slot — the paper's "Uniform"
 // model (0.5 units per slot).
 type Constant struct {
@@ -127,6 +223,20 @@ func (c *Constant) Mean() float64 { return c.e }
 
 // Name implements Recharge.
 func (c *Constant) Name() string { return c.name }
+
+var _ FastForwarder = (*Constant)(nil)
+
+// FastForward implements FastForwarder.
+func (c *Constant) FastForward(b *Battery, n int64, _ *rng.Source) {
+	if n <= 0 {
+		return
+	}
+	if !b.RechargeN(c.e, n) {
+		for i := int64(0); i < n; i++ {
+			b.Recharge(c.e)
+		}
+	}
+}
 
 // ClippedGaussian recharges max(0, N(mu, sigma²)) per slot — an extension
 // model for solar-like harvesting noise. Mean accounts for the clipping:

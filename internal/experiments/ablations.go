@@ -226,6 +226,7 @@ func runAblationRecharge(opts Options) (*Table, error) {
 			Slots:       opts.Slots,
 			Seed:        opts.Seed + uint64(i),
 			Info:        sim.FullInfo,
+			Engine:      opts.Engine,
 		})
 		if err != nil {
 			return 0, err
@@ -304,6 +305,7 @@ func runAblationLoadBalance(opts Options) (*Table, error) {
 			Slots:       opts.Slots,
 			Seed:        opts.Seed + uint64(i),
 			Info:        sim.FullInfo,
+			Engine:      opts.Engine,
 		})
 		if err != nil {
 			return 0, err
@@ -359,6 +361,7 @@ func runAblationPoisson(opts Options) (*Table, error) {
 				Slots:       opts.Slots,
 				Seed:        opts.Seed + uint64(i)*10 + seedOff,
 				Info:        sim.PartialInfo,
+				Engine:      opts.Engine,
 			})
 			if err != nil {
 				return 0, err

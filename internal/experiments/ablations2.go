@@ -58,6 +58,7 @@ func runAblationAdaptive(opts Options) (*Table, error) {
 				Slots:      slots,
 				Seed:       opts.Seed + uint64(i)*10 + seedOff,
 				Info:       sim.FullInfo,
+				Engine:     opts.Engine,
 			})
 			if err != nil {
 				return 0, err
@@ -145,6 +146,7 @@ func runAblationFaults(opts Options) (*Table, error) {
 				Seed:       opts.Seed + uint64(i)*10 + seedOff,
 				Info:       sim.FullInfo,
 				FailAt:     failAt,
+				Engine:     opts.Engine,
 			})
 			if err != nil {
 				return 0, err

@@ -9,6 +9,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"eventcap/internal/sim"
 )
 
 // Options control an experiment run.
@@ -24,6 +26,10 @@ type Options struct {
 	// fan out on (default: one per CPU). Results are identical for any
 	// value; 1 forces fully sequential execution.
 	Workers int
+	// Engine selects the simulation engine for every run the experiment
+	// performs (default sim.EngineAuto: the compiled kernel where
+	// eligible, the reference engine otherwise).
+	Engine sim.Engine
 }
 
 func (o Options) withDefaults() Options {

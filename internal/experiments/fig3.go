@@ -126,6 +126,7 @@ func runFig3(id, title string, opts Options, info sim.Info) (*Table, error) {
 			Slots:       opts.Slots,
 			Seed:        opts.Seed + uint64(i),
 			Info:        info,
+			Engine:      opts.Engine,
 		}
 		res, err := sim.Run(cfg)
 		if err != nil {

@@ -59,6 +59,7 @@ func runFig4(id, title string, opts Options, d dist.Interarrival, cs []float64) 
 				Slots:       opts.Slots,
 				Seed:        opts.Seed + uint64(i)*10 + seedOff,
 				Info:        sim.PartialInfo,
+				Engine:      opts.Engine,
 			})
 			if err != nil {
 				return 0, err

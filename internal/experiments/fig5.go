@@ -64,6 +64,7 @@ func runFig5(id, title string, opts Options, b float64) (*Table, error) {
 				Slots:       opts.Slots,
 				Seed:        opts.Seed + uint64(i)*10 + seedOff,
 				Info:        sim.PartialInfo,
+				Engine:      opts.Engine,
 			})
 			if err != nil {
 				return 0, err

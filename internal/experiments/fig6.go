@@ -50,6 +50,7 @@ func fig6Point(opts Options, n int, c float64, seedBase uint64) (mfi, mpi, ag, p
 			Slots:       opts.Slots,
 			Seed:        seedBase + seedOff,
 			Info:        info,
+			Engine:      opts.Engine,
 		})
 		if err != nil {
 			return 0, err

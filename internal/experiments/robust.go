@@ -76,6 +76,7 @@ func robustClustering(
 			Slots:       pilotSlots,
 			Seed:        seed ^ 0x9e3779b9, // decorrelate from the main run
 			Info:        sim.PartialInfo,
+			Engine:      opts.Engine,
 		})
 		if err != nil {
 			return 0, fmt.Errorf("pilot simulation: %w", err)

@@ -153,6 +153,23 @@ func (s *Source) ExpFloat64() float64 {
 	return -math.Log(1 - s.Float64())
 }
 
+// Geometric returns the number of failures before the first success in a
+// sequence of Bernoulli(p) trials, drawn by inversion with a single
+// uniform: P(G = g) = (1-p)^g p for g >= 0. It panics unless p is in
+// (0, 1]. Batch samplers (dist.SampleBinomial) use it to jump between
+// successes instead of drawing every trial.
+func (s *Source) Geometric(p float64) int64 {
+	if p <= 0 || p > 1 || math.IsNaN(p) {
+		panic("rng: Geometric needs p in (0, 1]")
+	}
+	if p == 1 {
+		return 0
+	}
+	// log1p(-Float64()) is in (-inf, 0]; the ratio floors to g >= 0.
+	g := math.Floor(math.Log1p(-s.Float64()) / math.Log1p(-p))
+	return int64(g)
+}
+
 // Perm returns a pseudo-random permutation of [0, n) as a slice.
 func (s *Source) Perm(n int) []int {
 	p := make([]int, n)

@@ -290,3 +290,40 @@ func BenchmarkFloat64(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestGeometricMatchesLaw: G counts failures before the first success, so
+// E[G] = (1-p)/p and P(G=0) = p.
+func TestGeometricMatchesLaw(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Geometric(0) did not panic")
+		}
+	}()
+	src := New(5, 9)
+	if g := src.Geometric(1); g != 0 {
+		t.Fatalf("Geometric(1) = %d, want 0", g)
+	}
+	for _, p := range []float64{0.05, 0.3, 0.7} {
+		const draws = 50000
+		var sum float64
+		zeros := 0
+		for i := 0; i < draws; i++ {
+			g := src.Geometric(p)
+			if g < 0 {
+				t.Fatalf("negative geometric draw %d", g)
+			}
+			sum += float64(g)
+			if g == 0 {
+				zeros++
+			}
+		}
+		wantMean := (1 - p) / p
+		if mean := sum / draws; math.Abs(mean-wantMean) > 0.05*wantMean+0.01 {
+			t.Errorf("p=%g: mean %v, want %v", p, mean, wantMean)
+		}
+		if z := float64(zeros) / draws; math.Abs(z-p) > 0.02 {
+			t.Errorf("p=%g: P(G=0) = %v", p, z)
+		}
+	}
+	src.Geometric(0) // must panic
+}

@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"fmt"
+
+	"eventcap/internal/core"
+	"eventcap/internal/energy"
+	"eventcap/internal/rng"
+)
+
+// Engine selects the simulation engine.
+type Engine int
+
+const (
+	// EngineAuto (the default) uses the compiled kernel whenever the
+	// configuration is eligible and the reference engine otherwise.
+	EngineAuto Engine = iota
+	// EngineReference forces the interpreted per-slot engine.
+	EngineReference
+	// EngineKernel forces the compiled kernel; Run fails when the
+	// configuration is ineligible.
+	EngineKernel
+)
+
+// ParseEngine maps the -kernel flag values onto engines.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "auto":
+		return EngineAuto, nil
+	case "on":
+		return EngineKernel, nil
+	case "off":
+		return EngineReference, nil
+	}
+	return 0, fmt.Errorf("sim: unknown engine %q (want auto, on, or off)", s)
+}
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineReference:
+		return "reference"
+	case EngineKernel:
+		return "kernel"
+	default:
+		return "auto"
+	}
+}
+
+// StateKind identifies which scalar drives a compiled policy's activation
+// probability. The kernel fast-forwards differently per kind because each
+// state evolves differently across a sleep run.
+type StateKind int
+
+const (
+	// StateSinceEvent is the full-information state h_i = slots since the
+	// last event. It resets when an event occurs — even one the sensor
+	// sleeps through — so a sleep run ends at the next event slot.
+	StateSinceEvent StateKind = iota + 1
+	// StateSinceCapture is the partial-information state f_i = slots since
+	// the last capture. A sleeping sensor cannot capture, so the state
+	// ticks up deterministically across any sleep run; events occurring
+	// inside the run are drained in one batch.
+	StateSinceCapture
+	// StateSlotPhase is the absolute slot phase (t-1) mod Modulus + 1 used
+	// by the periodic baseline; it too is untouched by sleeping.
+	StateSlotPhase
+)
+
+// CompiledPolicy is a stationary policy lowered to a dense activation
+// table over one of the supported state kinds.
+type CompiledPolicy struct {
+	Table *core.ActivationTable
+	State StateKind
+	// Modulus is the phase period for StateSlotPhase (ignored otherwise).
+	Modulus int
+}
+
+// Compilable is implemented by policies the kernel can execute. A
+// compilable policy must be stateless at runtime: ActivationProb may
+// depend only on the declared state kind, and Observe/Reset must be
+// no-ops, because the kernel never delivers outcomes for skipped slots.
+type Compilable interface {
+	Policy
+	Compile() (CompiledPolicy, error)
+}
+
+// prepareRunLength is the sleep-run length hint handed to
+// FastForwardPreparer recharges at compile time: long enough to cover the
+// inter-arrival gaps of every paper workload, small enough that the
+// precomputed tables stay in cache.
+const prepareRunLength = 128
+
+// kernelPlan is a validated, instantiated kernel configuration.
+type kernelPlan struct {
+	table    *core.ActivationTable
+	state    StateKind
+	modulus  int64
+	policy   Policy
+	recharge energy.FastForwarder
+}
+
+// compileKernel probes whether cfg (already validated) can run on the
+// kernel. It returns the plan, or nil and a human-readable reason for the
+// fallback. Checks are ordered cheapest first; factories only run when the
+// structural checks pass.
+func compileKernel(cfg *Config) (*kernelPlan, string) {
+	if cfg.N != 1 {
+		return nil, "multiple sensors"
+	}
+	if cfg.Trace != nil {
+		return nil, "per-slot trace requested"
+	}
+	if cfg.SampleEvery > 0 {
+		return nil, "timeline sampling requested"
+	}
+	if len(cfg.FailAt) > 0 {
+		return nil, "fault injection requested"
+	}
+	pol := cfg.NewPolicy(0)
+	comp, ok := pol.(Compilable)
+	if !ok {
+		return nil, fmt.Sprintf("policy %s is not compilable", pol.Name())
+	}
+	cp, err := comp.Compile()
+	if err != nil {
+		return nil, err.Error()
+	}
+	if cp.Table == nil || cp.State == 0 {
+		return nil, fmt.Sprintf("policy %s compiled to an incomplete plan", pol.Name())
+	}
+	if cp.State == StateSinceEvent && cfg.Info != FullInfo {
+		return nil, fmt.Sprintf("policy %s needs full information", pol.Name())
+	}
+	if cp.State == StateSlotPhase && cp.Modulus < 1 {
+		return nil, fmt.Sprintf("policy %s compiled with modulus %d", pol.Name(), cp.Modulus)
+	}
+	rech := cfg.NewRecharge()
+	ff, ok := rech.(energy.FastForwarder)
+	if !ok {
+		return nil, fmt.Sprintf("recharge %s cannot fast-forward", rech.Name())
+	}
+	if prep, ok := rech.(energy.FastForwardPreparer); ok {
+		prep.PrepareFastForward(prepareRunLength)
+	}
+	return &kernelPlan{
+		table:    cp.Table,
+		state:    cp.State,
+		modulus:  int64(cp.Modulus),
+		policy:   pol,
+		recharge: ff,
+	}, ""
+}
+
+// runKernel executes the compiled fast path. It reproduces the reference
+// engine's RNG stream layout (event Split(1), decision Split(2), recharge
+// Split(100)) and its draw-consumption pattern — zero-probability slots
+// consume no decision draws in either engine — so under deterministic
+// recharge the Result is byte-identical to the reference; under stochastic
+// recharge the recharge stream is consumed in batches and results agree in
+// law (see energy.FastForwarder).
+func runKernel(cfg Config, plan *kernelPlan) (*Result, error) {
+	root := rng.New(cfg.Seed, 0x5eed)
+	eventSrc := root.Split(1)
+	decisionSrc := root.Split(2)
+	battery, err := energy.NewBattery(cfg.BatteryCap, cfg.InitialBattery)
+	if err != nil {
+		return nil, err
+	}
+	rechargeSrc := root.Split(100)
+	plan.policy.Reset()
+
+	table := plan.table
+	rech := plan.recharge
+	cost := cfg.Params.ActivationCost()
+	delta1, delta2 := cfg.Params.Delta1, cfg.Params.Delta2
+
+	// Devirtualize the per-awake-slot recharge draw for the paper's
+	// default Bernoulli process; the draw below consumes the recharge
+	// stream exactly as Bernoulli.Next would.
+	var bernQ, bernC float64
+	bern, isBern := rech.(*energy.Bernoulli)
+	if isBern {
+		bernQ, bernC = bern.Q(), bern.C()
+	}
+
+	res := &Result{Slots: cfg.Slots, Sensors: make([]SensorStats, 1)}
+	stats := &res.Sensors[0]
+
+	// The paper assumes an event (and capture) at slot 0.
+	lastEvent, lastCapture := int64(0), int64(0)
+	nextEvent := int64(cfg.Dist.Sample(eventSrc))
+
+	t := int64(1)
+	for t <= cfg.Slots {
+		var st int64
+		switch plan.state {
+		case StateSinceEvent:
+			st = t - lastEvent
+		case StateSinceCapture:
+			st = t - lastCapture
+		default:
+			st = (t-1)%plan.modulus + 1
+		}
+
+		if z := table.ZeroRunFrom(int(st)); z > 0 {
+			// Sleep run: the policy stays silent for the next z slots (no
+			// decision draws, no consumption), unless the state machine
+			// intervenes first.
+			n := z
+			if plan.state == StateSlotPhase {
+				if wrap := plan.modulus - st + 1; n > wrap {
+					n = wrap
+				}
+			}
+			if left := cfg.Slots - t + 1; n > left {
+				n = left
+			}
+			if plan.state == StateSinceEvent && nextEvent-t+1 <= n {
+				// The event resets h to 1 for the following slot, ending
+				// the run at the (slept-through) event slot itself.
+				n = nextEvent - t + 1
+				rech.FastForward(battery, n, rechargeSrc)
+				res.Events++
+				lastEvent = nextEvent
+				nextEvent += int64(cfg.Dist.Sample(eventSrc))
+			} else {
+				rech.FastForward(battery, n, rechargeSrc)
+				// SinceCapture and SlotPhase states ignore events, so any
+				// number of events may fall inside the run; drain them in
+				// arrival order to keep the event stream aligned.
+				end := t + n - 1
+				for nextEvent <= end {
+					res.Events++
+					lastEvent = nextEvent
+					nextEvent += int64(cfg.Dist.Sample(eventSrc))
+				}
+			}
+			t += n
+			continue
+		}
+
+		// Awake slot: replicate the reference engine's slot exactly.
+		if isBern {
+			if rechargeSrc.Bernoulli(bernQ) {
+				battery.Recharge(bernC)
+			}
+		} else {
+			battery.Recharge(rech.Next(rechargeSrc))
+		}
+		event := t == nextEvent
+		if decisionSrc.Bernoulli(table.At(int(st))) {
+			if !battery.CanConsume(cost) {
+				stats.Denied++
+			} else {
+				battery.Consume(delta1)
+				stats.Activations++
+				if event {
+					battery.Consume(delta2)
+					stats.Captures++
+					res.Captures++
+					lastCapture = t
+				}
+			}
+		}
+		if event {
+			res.Events++
+			lastEvent = t
+			nextEvent = t + int64(cfg.Dist.Sample(eventSrc))
+		}
+		t++
+	}
+
+	stats.EnergyConsumed = battery.Consumed()
+	stats.OverflowLost = battery.OverflowLost()
+	stats.FinalBattery = battery.Level()
+	if res.Events > 0 {
+		res.QoM = float64(res.Captures) / float64(res.Events)
+	}
+	return res, nil
+}

@@ -39,6 +39,17 @@ func (v *VectorFI) Observe(Outcome) {}
 // Reset implements Policy (stateless).
 func (v *VectorFI) Reset() {}
 
+// Compile implements Compilable: the vector indexed by slots since the
+// last event. The kernel only accepts this kind under FullInfo, matching
+// ActivationProb's fail-safe sleep when h_i is unavailable.
+func (v *VectorFI) Compile() (CompiledPolicy, error) {
+	t, err := core.CompileVector(v.Vector)
+	if err != nil {
+		return CompiledPolicy{}, err
+	}
+	return CompiledPolicy{Table: t, State: StateSinceEvent}, nil
+}
+
 // VectorPI executes an activation Vector against the partial-information
 // state f_i (slots since the last captured event) — the runtime form of
 // the clustering policy π'_PI and of the belief-threshold policy's
@@ -69,6 +80,16 @@ func (v *VectorPI) Observe(Outcome) {}
 // Reset implements Policy (stateless).
 func (v *VectorPI) Reset() {}
 
+// Compile implements Compilable: the vector indexed by slots since the
+// last capture.
+func (v *VectorPI) Compile() (CompiledPolicy, error) {
+	t, err := core.CompileVector(v.Vector)
+	if err != nil {
+		return CompiledPolicy{}, err
+	}
+	return CompiledPolicy{Table: t, State: StateSinceCapture}, nil
+}
+
 // Aggressive is the paper's π_AG baseline: activate whenever the energy
 // gate B_t >= δ1 + δ2 allows (the gate itself is enforced by the engine).
 type Aggressive struct{}
@@ -86,6 +107,16 @@ func (Aggressive) Observe(Outcome) {}
 
 // Reset implements Policy.
 func (Aggressive) Reset() {}
+
+// Compile implements Compilable: a constant always-on table. There are no
+// zero states to skip, but the kernel's monomorphic loop still runs it.
+func (Aggressive) Compile() (CompiledPolicy, error) {
+	t, err := core.CompileVector(core.Vector{Tail: 1})
+	if err != nil {
+		return CompiledPolicy{}, err
+	}
+	return CompiledPolicy{Table: t, State: StateSinceCapture}, nil
+}
 
 // Periodic is the paper's π_PE baseline: θ1 active slots in every window
 // of θ2 slots, positionally on the absolute slot number. Combined with
@@ -129,6 +160,24 @@ func (p *Periodic) Observe(Outcome) {}
 
 // Reset implements Policy.
 func (p *Periodic) Reset() {}
+
+// Compile implements Compilable: θ1 ones then θ2−θ1 zeros over the slot
+// phase. The zero tail never applies (states stay within the modulus; the
+// kernel caps sleep runs at the phase wrap).
+func (p *Periodic) Compile() (CompiledPolicy, error) {
+	if p.Theta1 < 1 || p.Theta2 < p.Theta1 {
+		return CompiledPolicy{}, fmt.Errorf("sim: cannot compile periodic(%d/%d)", p.Theta1, p.Theta2)
+	}
+	prefix := make([]float64, p.Theta2)
+	for i := 0; i < p.Theta1; i++ {
+		prefix[i] = 1
+	}
+	t, err := core.CompileVector(core.Vector{Prefix: prefix})
+	if err != nil {
+		return CompiledPolicy{}, err
+	}
+	return CompiledPolicy{Table: t, State: StateSlotPhase, Modulus: p.Theta2}, nil
+}
 
 // EBCW is the runtime form of the last-observation policy class of Jaggi
 // et al. [6] (see core.OptimizeEBCW): activate with probability PYes

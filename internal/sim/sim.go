@@ -216,6 +216,14 @@ type Config struct {
 	// SampleEvery, when positive, records a TimelinePoint every that
 	// many slots (running QoM, per-window QoM, battery level).
 	SampleEvery int64
+
+	// Engine selects the simulation engine. The default, EngineAuto, runs
+	// the compiled slot-skipping kernel whenever the configuration is
+	// eligible (single sensor, compilable stateless policy,
+	// fast-forwardable recharge, no trace/timeline/fault injection) and
+	// the reference engine otherwise. See kernel.go for the equivalence
+	// contract.
+	Engine Engine
 }
 
 func (c *Config) validate() error {
@@ -288,6 +296,20 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	switch cfg.Engine {
+	case EngineKernel:
+		plan, reason := compileKernel(&cfg)
+		if plan == nil {
+			return nil, fmt.Errorf("sim: kernel engine unavailable: %s", reason)
+		}
+		return runKernel(cfg, plan)
+	case EngineReference:
+		// fall through to the interpreted paths below
+	default: // EngineAuto
+		if plan, _ := compileKernel(&cfg); plan != nil {
+			return runKernel(cfg, plan)
+		}
+	}
 	if cfg.independentSensors() {
 		return runIndependent(cfg)
 	}
@@ -320,13 +342,77 @@ func Run(cfg Config) (*Result, error) {
 	ownLastCapture := make([]int64, cfg.N)
 	nextEvent := int64(cfg.Dist.Sample(eventSrc))
 
+	// Lower the fault-injection map to a per-sensor slot array so the hot
+	// loop never ranges over a map; hasFail skips even the array scan for
+	// the common fault-free run.
 	failed := make([]bool, cfg.N)
+	failSlot := make([]int64, cfg.N)
+	hasFail := false
+	for s := range failSlot {
+		failSlot[s] = math.MaxInt64
+	}
+	for s, slot := range cfg.FailAt {
+		if s >= 0 && s < cfg.N {
+			failSlot[s] = slot
+			hasFail = true
+		}
+	}
+
 	actions := make([]bool, cfg.N)
 	var windowEvents, windowCaptures int64
-	for t := int64(1); t <= cfg.Slots; t++ {
-		for s, slot := range cfg.FailAt {
-			if s >= 0 && s < cfg.N && t >= slot {
-				failed[s] = true
+
+	// decide is hoisted out of the slot loop (a closure literal inside it
+	// would allocate every iteration); the per-slot variables it reads are
+	// declared alongside it and mutated by the loop.
+	var (
+		t        int64
+		event    bool
+		captured bool
+	)
+	decide := func(s int) {
+		if failed[s] {
+			return
+		}
+		st := SlotState{
+			Slot:         t,
+			SinceEvent:   int(t - lastEvent),
+			SinceCapture: int(t - sharedLastCapture),
+			Battery:      batteries[s].Level(),
+		}
+		if cfg.Info == PartialInfo {
+			st.SinceEvent = -1
+		}
+		if cfg.Mode == ModeAll && cfg.Info == PartialInfo {
+			st.SinceCapture = int(t - ownLastCapture[s])
+		}
+		p := policies[s].ActivationProb(st)
+		if p <= 0 || !decisionSrc.Bernoulli(p) {
+			policies[s].Observe(outcomeFor(cfg.Info, false, event, false))
+			return
+		}
+		stats := &res.Sensors[s]
+		if !batteries[s].CanConsume(cost) {
+			stats.Denied++
+			policies[s].Observe(outcomeFor(cfg.Info, false, event, false))
+			return
+		}
+		actions[s] = true
+		batteries[s].Consume(cfg.Params.Delta1)
+		stats.Activations++
+		if event {
+			batteries[s].Consume(cfg.Params.Delta2)
+			stats.Captures++
+			captured = true
+		}
+		policies[s].Observe(outcomeFor(cfg.Info, true, event, event))
+	}
+
+	for t = 1; t <= cfg.Slots; t++ {
+		if hasFail {
+			for s := 0; s < cfg.N; s++ {
+				if t >= failSlot[s] {
+					failed[s] = true
+				}
 			}
 		}
 		// 1. Recharge completes at the beginning of the slot.
@@ -337,49 +423,11 @@ func Run(cfg Config) (*Result, error) {
 			batteries[s].Recharge(recharges[s].Next(rechargeSrcs[s]))
 		}
 
-		event := t == nextEvent
+		event = t == nextEvent
 		charge := cfg.inCharge(t)
-		captured := false
+		captured = false
 		for s := 0; s < cfg.N; s++ {
 			actions[s] = false
-		}
-
-		decide := func(s int) {
-			if failed[s] {
-				return
-			}
-			st := SlotState{
-				Slot:         t,
-				SinceEvent:   int(t - lastEvent),
-				SinceCapture: int(t - sharedLastCapture),
-				Battery:      batteries[s].Level(),
-			}
-			if cfg.Info == PartialInfo {
-				st.SinceEvent = -1
-			}
-			if cfg.Mode == ModeAll && cfg.Info == PartialInfo {
-				st.SinceCapture = int(t - ownLastCapture[s])
-			}
-			p := policies[s].ActivationProb(st)
-			if p <= 0 || !decisionSrc.Bernoulli(p) {
-				policies[s].Observe(outcomeFor(cfg.Info, false, event, false))
-				return
-			}
-			stats := &res.Sensors[s]
-			if !batteries[s].CanConsume(cost) {
-				stats.Denied++
-				policies[s].Observe(outcomeFor(cfg.Info, false, event, false))
-				return
-			}
-			actions[s] = true
-			batteries[s].Consume(cfg.Params.Delta1)
-			stats.Activations++
-			if event {
-				batteries[s].Consume(cfg.Params.Delta2)
-				stats.Captures++
-				captured = true
-			}
-			policies[s].Observe(outcomeFor(cfg.Info, true, event, event))
 		}
 
 		if charge >= 0 {
