@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race bench-smoke bench bench-kernel-json clean
+.PHONY: all check vet build test race bench-smoke bench bench-kernel-json bench-obs-json clean
 
 all: check
 
@@ -28,7 +28,7 @@ race:
 # One iteration of each throughput benchmark: verifies the bench code
 # still compiles and runs, without paying for a real measurement.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'SlotsPerOp' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'SlotsPerOp|ObsOverhead' -benchtime 1x .
 
 # Full measurement of the kernel and reference engines.
 bench:
@@ -38,6 +38,12 @@ bench:
 # configuration; see EXPERIMENTS.md).
 bench-kernel-json:
 	BENCH_KERNEL_JSON=BENCH_kernel.json $(GO) test -run TestEmitBenchKernelJSON -count=1 -v .
+
+# Measure the cost of Config.Metrics on both engines, assert the ≤2%
+# budget of DESIGN.md §9, and regenerate BENCH_obs.json. Needs a quiet
+# machine — the assertion compares best-of-N interleaved minimums.
+bench-obs-json:
+	BENCH_OBS_JSON=BENCH_obs.json $(GO) test -run TestObsOverheadWithinBudget -count=1 -timeout 900s -v .
 
 clean:
 	$(GO) clean ./...

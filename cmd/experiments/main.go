@@ -6,9 +6,14 @@
 //	experiments -list
 //	experiments -run fig3a,fig4b
 //	experiments -run all -out results -quick
+//	experiments -run all -out results -progress 5s -metrics-addr localhost:6060
 //
 // Each experiment prints a paper-style ASCII table; with -out set, a CSV
-// per experiment is written into the directory.
+// per experiment is written into the directory together with a JSON run
+// manifest (<id>.manifest.json) recording the configuration, code
+// version, wall time, and the run-level metrics behind the figure.
+// -progress renders a live jobs-done/ETA line to stderr; -metrics-addr
+// serves /debug/vars and /debug/pprof while the sweep runs.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 
 	"eventcap/internal/cliutil"
 	"eventcap/internal/experiments"
+	"eventcap/internal/obs"
 	"eventcap/internal/parallel"
 	"eventcap/internal/sim"
 )
@@ -36,16 +42,18 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		list    = fs.Bool("list", false, "list experiment ids and exit")
-		runID   = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
-		outDir  = fs.String("out", "", "directory to write CSV files into (optional)")
-		quick   = fs.Bool("quick", false, "reduced sweeps and shorter runs")
-		slots   = fs.Int64("slots", 0, "override simulation length T (default 1e6; 1e5 with -quick)")
-		seed    = fs.Uint64("seed", 1, "random seed")
-		workers = fs.Int("workers", 0, "worker pool size for sweep points (0 = one per CPU; results are identical for any value)")
-		kernel  = fs.String("kernel", "auto", "simulation engine: auto (compiled kernel when eligible) | on (force kernel) | off (reference engine)")
-		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = fs.String("memprofile", "", "write a heap profile to this file")
+		list        = fs.Bool("list", false, "list experiment ids and exit")
+		runID       = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+		outDir      = fs.String("out", "", "directory to write CSV files and run manifests into (optional)")
+		quick       = fs.Bool("quick", false, "reduced sweeps and shorter runs")
+		slots       = fs.Int64("slots", 0, "override simulation length T (default 1e6; 1e5 with -quick)")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		workers     = fs.Int("workers", 0, "worker pool size for sweep points (0 = one per CPU; results are identical for any value)")
+		kernel      = fs.String("kernel", "auto", "simulation engine: auto (compiled kernel when eligible) | on (force kernel) | off (reference engine)")
+		cpuProf     = fs.String("cpuprofile", "", "write a CPU profile to this file (a bare filename lands in -out)")
+		memProf     = fs.String("memprofile", "", "write a heap profile to this file (a bare filename lands in -out)")
+		progress    = fs.Duration("progress", 0, "print a live progress line to stderr at this interval (0 disables)")
+		metricsAddr = fs.String("metrics-addr", "", "serve /debug/vars and /debug/pprof on this address while running (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,16 +62,6 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	stopProfiles, err := cliutil.StartProfiles(*cpuProf, *memProf)
-	if err != nil {
-		return err
-	}
-	profilesStopped := false
-	defer func() {
-		if !profilesStopped {
-			stopProfiles()
-		}
-	}()
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -95,28 +93,163 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// Bare profile filenames land beside the manifests that point at them.
+	cpuPath := cliutil.ResolveProfilePath(*cpuProf, *outDir)
+	memPath := cliutil.ResolveProfilePath(*memProf, *outDir)
+	stopProfiles, err := cliutil.StartProfiles(cpuPath, memPath)
+	if err != nil {
+		return err
+	}
+	profilesStopped := false
+	defer func() {
+		if !profilesStopped {
+			stopProfiles()
+		}
+	}()
+
+	if *metricsAddr != "" {
+		bound, stopServe, err := obs.ServeMetrics(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "experiments: serving /debug/vars and /debug/pprof/ on http://%s\n", bound)
+		defer stopServe()
+	}
+
+	if *progress > 0 {
+		prog := obs.NewProgress()
+		parallel.SetObserver(prog)
+		ticker := time.NewTicker(*progress)
+		stopTicker := make(chan struct{})
+		go func() {
+			for {
+				select {
+				case <-stopTicker:
+					return
+				case <-ticker.C:
+					fmt.Fprintln(os.Stderr, prog.Line(parallel.Workers(*workers)))
+				}
+			}
+		}()
+		defer func() {
+			ticker.Stop()
+			close(stopTicker)
+			parallel.SetObserver(nil)
+			done, total := prog.Done()
+			fmt.Fprintf(os.Stderr, "progress: finished %d/%d jobs\n", done, total)
+		}()
+	}
+
 	opts := experiments.Options{Slots: *slots, Seed: *seed, Quick: *quick, Workers: *workers, Engine: engine}
 	for _, exp := range selected {
+		before := obs.Snapshot()
 		start := time.Now()
 		table, err := exp.Run(opts)
 		if err != nil {
 			return fmt.Errorf("running %s: %w", exp.ID, err)
 		}
-		elapsed := time.Since(start).Round(time.Millisecond)
+		elapsed := time.Since(start)
+		rounded := elapsed.Round(time.Millisecond)
 		// The "timing:" prefix marks the one note allowed to vary between
 		// runs; CSV output carries no notes, so it stays byte-identical
 		// for a fixed seed at any worker count.
-		table.Notes = append(table.Notes, fmt.Sprintf("timing: %v wall-clock with %d workers", elapsed, parallel.Workers(*workers)))
+		table.Notes = append(table.Notes, fmt.Sprintf("timing: %v wall-clock with %d workers", rounded, parallel.Workers(*workers)))
 		fmt.Fprintln(out, table.ASCII())
-		fmt.Fprintf(out, "(%s finished in %v)\n\n", exp.ID, elapsed)
+		fmt.Fprintf(out, "(%s finished in %v)\n\n", exp.ID, rounded)
 		if *outDir != "" {
+			csv := []byte(table.CSV())
 			path := filepath.Join(*outDir, exp.ID+".csv")
-			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
+			if err := os.WriteFile(path, csv, 0o644); err != nil {
 				return fmt.Errorf("writing %s: %w", path, err)
 			}
-			fmt.Fprintf(out, "wrote %s\n\n", path)
+			man := manifestFor(exp, csv, obs.Diff(before, obs.Snapshot()), manifestParams{
+				slots:   *slots,
+				seed:    *seed,
+				quick:   *quick,
+				workers: *workers,
+				engine:  engine,
+				start:   start,
+				elapsed: elapsed,
+				outDir:  *outDir,
+				cpuProf: cpuPath,
+				memProf: memPath,
+			})
+			manPath := filepath.Join(*outDir, exp.ID+".manifest.json")
+			if err := man.Write(manPath); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", path)
+			fmt.Fprintf(out, "wrote %s\n\n", manPath)
 		}
 	}
 	profilesStopped = true
 	return stopProfiles()
+}
+
+// manifestParams carries the per-invocation facts manifestFor records.
+type manifestParams struct {
+	slots   int64
+	seed    uint64
+	quick   bool
+	workers int
+	engine  sim.Engine
+	start   time.Time
+	elapsed time.Duration
+	outDir  string
+	cpuProf string
+	memProf string
+}
+
+// manifestFor assembles the JSON sidecar for one experiment's CSV. The
+// metrics block is the experiment's own share of the process counters
+// (the Snapshot diff around its Run call), carved by prefix into
+// run-level ("sim.") and process-level ("cache.", "pool.") blocks.
+func manifestFor(exp experiments.Experiment, csv []byte, diff map[string]float64, p manifestParams) *obs.Manifest {
+	man := &obs.Manifest{
+		Schema:     obs.ManifestSchema,
+		Experiment: exp.ID,
+		Title:      exp.Title,
+		CSV:        exp.ID + ".csv",
+		CSVSHA256:  obs.SHA256Hex(csv),
+		Config: obs.ManifestConfig{
+			Slots:   p.slots,
+			Seed:    p.seed,
+			Quick:   p.quick,
+			Workers: parallel.Workers(p.workers),
+			Engine:  p.engine.String(),
+		},
+		// Workers are excluded from the digest: results are worker-
+		// invariant, so two runs differing only in pool size share a
+		// digest (and must share a CSV hash).
+		ConfigDigest: obs.DigestConfig(
+			"experiment="+exp.ID,
+			fmt.Sprintf("slots=%d", p.slots),
+			fmt.Sprintf("seed=%d", p.seed),
+			fmt.Sprintf("quick=%t", p.quick),
+			"engine="+p.engine.String(),
+		),
+		StartedAt:     p.start.UTC().Format(time.RFC3339),
+		WallMillis:    p.elapsed.Milliseconds(),
+		GoVersion:     obs.GoVersion(),
+		BinaryVersion: obs.BinaryVersion(),
+		Metrics:       obs.FilterPrefix(diff, "sim."),
+		Process:       obs.FilterPrefix(diff, "cache.", "pool."),
+	}
+	addProfile := func(kind, path string) {
+		if path == "" {
+			return
+		}
+		if man.Profiles == nil {
+			man.Profiles = make(map[string]string)
+		}
+		// Point at the sibling file by base name when the profile lives in
+		// the output directory, else record the path as given.
+		if filepath.Dir(path) == filepath.Clean(p.outDir) {
+			path = filepath.Base(path)
+		}
+		man.Profiles[kind] = path
+	}
+	addProfile("cpu", p.cpuProf)
+	addProfile("mem", p.memProf)
+	return man
 }

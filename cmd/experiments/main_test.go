@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"eventcap/internal/obs"
 )
 
 func TestListPrintsAllExperiments(t *testing.T) {
@@ -61,6 +63,75 @@ func TestWorkersFlagByteIdenticalCSV(t *testing.T) {
 		if got := csvFor(w); !bytes.Equal(got, base) {
 			t.Errorf("-workers %s CSV differs from -workers 1:\n%s\nvs\n%s", w, got, base)
 		}
+	}
+}
+
+// TestRunWritesManifest: every CSV gets a JSON sidecar whose hash
+// matches the CSV bytes and whose metrics block satisfies the event
+// classification invariant.
+func TestRunWritesManifest(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-run", "fig3a", "-quick", "-seed", "2", "-out", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	man, err := obs.ReadManifest(filepath.Join(dir, "fig3a.manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Experiment != "fig3a" || man.CSV != "fig3a.csv" {
+		t.Fatalf("manifest identity: %+v", man)
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, man.CSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.SHA256Hex(csv); got != man.CSVSHA256 {
+		t.Errorf("csv hash %s != manifest %s", got, man.CSVSHA256)
+	}
+	if man.Config.Seed != 2 || !man.Config.Quick || man.Config.Engine != "auto" {
+		t.Errorf("manifest config: %+v", man.Config)
+	}
+	if !strings.HasPrefix(man.ConfigDigest, "sha256:") || man.GoVersion == "" || man.BinaryVersion == "" {
+		t.Errorf("manifest provenance: digest=%q go=%q bin=%q", man.ConfigDigest, man.GoVersion, man.BinaryVersion)
+	}
+	m := man.Metrics
+	events, captures := m["sim.events"], m["sim.captures"]
+	if events == 0 {
+		t.Fatal("manifest metrics recorded no events")
+	}
+	if sum := captures + m["sim.miss.asleep"] + m["sim.miss.noenergy"]; sum != events {
+		t.Errorf("captures %v + misses = %v, want events %v", captures, sum, events)
+	}
+	if man.Process["pool.jobs.done"] == 0 {
+		t.Error("manifest process block recorded no pool jobs")
+	}
+}
+
+// TestMetricsAddrKeepsCSVByteIdentical: observability is output-neutral
+// end to end — serving /debug/vars (and collecting everything behind it)
+// must not perturb a single CSV byte.
+func TestMetricsAddrKeepsCSVByteIdentical(t *testing.T) {
+	csvFor := func(extra ...string) []byte {
+		t.Helper()
+		dir := t.TempDir()
+		var sb strings.Builder
+		args := append([]string{"-run", "fig3a", "-quick", "-seed", "5", "-out", dir}, extra...)
+		if err := run(args, &sb); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "fig3a.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	base := csvFor()
+	if got := csvFor("-metrics-addr", "127.0.0.1:0"); !bytes.Equal(got, base) {
+		t.Errorf("-metrics-addr changed the CSV:\n%s\nvs\n%s", got, base)
+	}
+	if got := csvFor("-progress", "1h"); !bytes.Equal(got, base) {
+		t.Errorf("-progress changed the CSV:\n%s\nvs\n%s", got, base)
 	}
 }
 

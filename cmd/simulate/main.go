@@ -18,6 +18,7 @@ import (
 	"eventcap/internal/cliutil"
 	"eventcap/internal/core"
 	"eventcap/internal/dist"
+	"eventcap/internal/obs"
 	"eventcap/internal/sim"
 )
 
@@ -47,6 +48,8 @@ func run(args []string) error {
 		kernel   = fs.String("kernel", "auto", "simulation engine: auto (compiled kernel when eligible) | on (force kernel) | off (reference engine)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
+		metrics  = fs.Bool("metrics", false, "collect and print run metrics (miss decomposition, battery occupancy; never changes results)")
+		mAddr    = fs.String("metrics-addr", "", "serve /debug/vars and /debug/pprof on this address while running (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +68,14 @@ func run(args []string) error {
 			stopProfiles()
 		}
 	}()
+	if *mAddr != "" {
+		bound, stopServe, err := obs.ServeMetrics(*mAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "simulate: serving /debug/vars and /debug/pprof/ on http://%s\n", bound)
+		defer stopServe()
+	}
 
 	d, err := cliutil.ParseDist(*distSpec)
 	if err != nil {
@@ -103,6 +114,7 @@ func run(args []string) error {
 		Info:        info,
 		Workers:     *workers,
 		Engine:      engine,
+		Metrics:     *metrics,
 	}
 	switch *mode {
 	case "roundrobin":
@@ -189,6 +201,17 @@ func run(args []string) error {
 	fmt.Printf("QoM        %.4f   (analytic, energy assumption: %.4f)\n", res.QoM, analytic)
 	if *n > 1 {
 		fmt.Printf("balance    load imbalance (max-min)/mean activations = %.4f\n", res.LoadImbalance())
+	}
+	if m := res.Metrics; m != nil {
+		fmt.Printf("engine     %s\n", res.Engine)
+		fmt.Printf("misses     asleep=%d noenergy=%d (captures %d + misses %d = events %d)\n",
+			m.MissAsleep, m.MissNoEnergy, res.Captures, m.MissAsleep+m.MissNoEnergy, res.Events)
+		fmt.Printf("energy     wasted activations=%d, outage slots=%d/%d observed, mean battery %.1f%% of K\n",
+			m.WastedActivations, m.EnergyOutageSlots, m.ObservedSlots, 100*m.MeanBatteryFrac())
+		if m.KernelRuns > 0 {
+			fmt.Printf("kernel     %d sleep runs fast-forwarded %d slots (%.1f%% of T)\n",
+				m.KernelRuns, m.KernelSlotsFastForwarded, 100*float64(m.KernelSlotsFastForwarded)/float64(res.Slots))
+		}
 	}
 	for i, s := range res.Sensors {
 		fmt.Printf("sensor %-2d  activations=%d captures=%d denied=%d energyUsed=%.0f battery=%.1f\n",

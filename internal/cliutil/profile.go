@@ -3,9 +3,21 @@ package cliutil
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 )
+
+// ResolveProfilePath places a bare profile filename inside outDir so the
+// profile lands beside the run manifests it belongs to. Empty paths pass
+// through (profile disabled), as do paths that already name a directory
+// and paths used without an output directory.
+func ResolveProfilePath(path, outDir string) string {
+	if path == "" || outDir == "" || filepath.Dir(path) != "." {
+		return path
+	}
+	return filepath.Join(outDir, path)
+}
 
 // StartProfiles begins CPU profiling into cpuPath and arranges a heap
 // profile to be written to memPath; either path may be empty to disable

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"eventcap/internal/dist"
+	"eventcap/internal/obs"
 )
 
 // Policy computations are pure functions of (distribution, recharge
@@ -52,10 +53,14 @@ func (c *policyCache[V]) get(key string, compute func() (V, error)) (V, error) {
 		c.entries[key] = e
 	}
 	c.mu.Unlock()
+	// Per-cache counters back CacheStats; the obs counters are the
+	// process-wide totals snapshotted into run manifests (never reset).
 	if ok {
 		c.hits.Add(1)
+		obs.CachePolicyHits.Inc()
 	} else {
 		c.misses.Add(1)
+		obs.CachePolicyMisses.Inc()
 	}
 	e.once.Do(func() { e.val, e.err = compute() })
 	return e.val, e.err

@@ -45,6 +45,16 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// runSim is the one simulation entry point the experiment drivers use:
+// sim.Run with metrics collection enabled, so every run of every
+// experiment feeds the process-wide obs totals that cmd/experiments
+// snapshots into run manifests. Metrics collection is RNG-neutral
+// (sim.Config.Metrics), so results are identical to a bare sim.Run.
+func runSim(cfg sim.Config) (*sim.Result, error) {
+	cfg.Metrics = true
+	return sim.Run(cfg)
+}
+
 // Series is one labelled curve of a figure.
 type Series struct {
 	Name string

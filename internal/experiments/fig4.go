@@ -50,7 +50,7 @@ func runFig4(id, title string, opts Options, d dist.Interarrival, cs []float64) 
 			return r
 		}
 		run := func(newPolicy func(int) sim.Policy, seedOff uint64) (float64, error) {
-			res, err := sim.Run(sim.Config{
+			res, err := runSim(sim.Config{
 				Dist:        d,
 				Params:      p,
 				NewRecharge: newRecharge,

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	c := NewCounter("test.counter")
+	if c.Load() != 0 {
+		t.Fatalf("fresh counter = %d", c.Load())
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Load() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Load())
+	}
+	if got := Snapshot()["test.counter"]; got != 42 {
+		t.Fatalf("snapshot = %v, want 42", got)
+	}
+}
+
+func TestGaugeTracksHighWater(t *testing.T) {
+	g := NewGauge("test.gauge")
+	g.Add(3)
+	g.Add(4)
+	g.Add(-5)
+	if g.Load() != 2 {
+		t.Fatalf("gauge = %d, want 2", g.Load())
+	}
+	if g.Max() != 7 {
+		t.Fatalf("gauge max = %d, want 7", g.Max())
+	}
+	snap := Snapshot()
+	if snap["test.gauge"] != 2 || snap["test.gauge.max"] != 7 {
+		t.Fatalf("snapshot gauge=%v max=%v", snap["test.gauge"], snap["test.gauge.max"])
+	}
+}
+
+func TestFloatCounter(t *testing.T) {
+	f := NewFloatCounter("test.float")
+	f.Add(0.25)
+	f.Add(0.5)
+	if got := f.Load(); got != 0.75 {
+		t.Fatalf("float counter = %v, want 0.75", got)
+	}
+}
+
+func TestCounterVecClampsBins(t *testing.T) {
+	v := NewCounterVec("test.vec", 3)
+	v.Add(0, 1)
+	v.Add(2, 2)
+	v.Add(-5, 10) // clamps to bin 0
+	v.Add(99, 20) // clamps to bin 2
+	if v.Bin(0) != 11 || v.Bin(1) != 0 || v.Bin(2) != 22 {
+		t.Fatalf("bins = %d/%d/%d", v.Bin(0), v.Bin(1), v.Bin(2))
+	}
+	if got := Snapshot()["test.vec.02"]; got != 22 {
+		t.Fatalf("snapshot bin 2 = %v", got)
+	}
+}
+
+func TestDurationHistBuckets(t *testing.T) {
+	h := NewDurationHist("test.hist")
+	h.Observe(500 * time.Microsecond) // le_1ms
+	h.Observe(5 * time.Millisecond)   // le_10ms
+	h.Observe(2 * time.Second)        // le_10s
+	h.Observe(time.Hour)              // inf
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	snap := Snapshot()
+	for key, want := range map[string]float64{
+		"test.hist.le_1ms":  1,
+		"test.hist.le_10ms": 1,
+		"test.hist.le_10s":  1,
+		"test.hist.inf":     1,
+		"test.hist.le_1s":   0,
+		"test.hist.count":   4,
+	} {
+		if snap[key] != want {
+			t.Errorf("%s = %v, want %v", key, snap[key], want)
+		}
+	}
+	wantMean := float64(500*time.Microsecond+5*time.Millisecond+2*time.Second+time.Hour) / 4
+	if got := h.MeanNs(); got != wantMean {
+		t.Fatalf("mean = %v ns, want %v", got, wantMean)
+	}
+}
+
+func TestDuplicateMetricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	NewCounter("test.dup")
+	NewCounter("test.dup")
+}
+
+func TestDiffCountsFromSnapshot(t *testing.T) {
+	c := NewCounter("test.diff")
+	c.Add(10)
+	before := Snapshot()
+	c.Add(7)
+	d := Diff(before, Snapshot())
+	if d["test.diff"] != 7 {
+		t.Fatalf("diff = %v, want 7", d["test.diff"])
+	}
+	// A key absent from before counts from zero.
+	d2 := Diff(map[string]float64{}, map[string]float64{"x": 3})
+	if d2["x"] != 3 {
+		t.Fatalf("diff with missing before = %v", d2["x"])
+	}
+}
+
+func TestFilterPrefix(t *testing.T) {
+	snap := map[string]float64{"sim.events": 1, "sim.captures": 2, "pool.jobs.done": 3, "cache.policy.hits": 4}
+	sim := FilterPrefix(snap, "sim.")
+	if len(sim) != 2 || sim["sim.events"] != 1 {
+		t.Fatalf("sim filter = %v", sim)
+	}
+	proc := FilterPrefix(snap, "cache.", "pool.")
+	if len(proc) != 2 || proc["pool.jobs.done"] != 3 || proc["cache.policy.hits"] != 4 {
+		t.Fatalf("process filter = %v", proc)
+	}
+}
+
+func TestDigestConfigStableAndSeparatorSafe(t *testing.T) {
+	a := DigestConfig("experiment=fig3a", "seed=1")
+	if a != DigestConfig("experiment=fig3a", "seed=1") {
+		t.Fatal("digest not deterministic")
+	}
+	if !strings.HasPrefix(a, "sha256:") {
+		t.Fatalf("digest %q missing prefix", a)
+	}
+	if a == DigestConfig("experiment=fig3a", "seed=2") {
+		t.Fatal("digest ignores part values")
+	}
+	// The NUL separator must keep part boundaries from aliasing.
+	if DigestConfig("ab", "c") == DigestConfig("a", "bc") {
+		t.Fatal("digest aliases across part boundaries")
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	now := time.Unix(1000, 0)
+	p := &Progress{nowFunc: func() time.Time { return now }}
+	if got := p.Line(4); got != "progress: no jobs enqueued yet" {
+		t.Fatalf("empty line = %q", got)
+	}
+	p.Enqueued(8)
+	p.Started()
+	p.Finished(100*time.Millisecond, nil)
+	p.Started()
+	p.Finished(300*time.Millisecond, fmt.Errorf("boom"))
+	done, total := p.Done()
+	if done != 2 || total != 8 {
+		t.Fatalf("done/total = %d/%d", done, total)
+	}
+	line := p.Line(2)
+	for _, want := range []string{"2/8 jobs", "25%", "avg 200ms/job", "eta", "1 failed"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestServeMetricsExposesVarsAndPprof(t *testing.T) {
+	marker := NewCounter("test.serve.marker")
+	marker.Add(123)
+	addr, stop, err := ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := stop(); err != nil {
+			t.Errorf("stop: %v", err)
+		}
+	}()
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	vars := get("/debug/vars")
+	if !strings.Contains(vars, `"eventcap"`) || !strings.Contains(vars, `"test.serve.marker":123`) {
+		t.Errorf("/debug/vars missing eventcap metrics:\n%.400s", vars)
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles:\n%.400s", idx)
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Progress tracks a batch of pool jobs for live sweep reporting. It
+// implements the parallel package's Observer shape (Enqueued / Started /
+// Finished) without importing it, so the dependency points pool → obs.
+//
+// Totals only grow: a sweep that fans out nested pools (pilot runs
+// inside sweep points) keeps one Progress across all of them, and the
+// rendered line reflects everything enqueued so far.
+type Progress struct {
+	total   atomic.Int64
+	started atomic.Int64
+	done    atomic.Int64
+	errs    atomic.Int64
+	busyNs  atomic.Int64 // summed job wall time, for the ETA estimate
+	startNs atomic.Int64 // first-enqueue timestamp (UnixNano), set once
+	nowFunc func() time.Time
+}
+
+// NewProgress returns a Progress reporting wall time with time.Now.
+func NewProgress() *Progress { return &Progress{nowFunc: time.Now} }
+
+func (p *Progress) now() time.Time {
+	if p.nowFunc == nil {
+		return time.Now()
+	}
+	return p.nowFunc()
+}
+
+// Enqueued records n jobs entering a pool.
+func (p *Progress) Enqueued(n int) {
+	p.total.Add(int64(n))
+	p.startNs.CompareAndSwap(0, p.now().UnixNano())
+}
+
+// Started records one job beginning execution.
+func (p *Progress) Started() { p.started.Add(1) }
+
+// Finished records one job completing after d.
+func (p *Progress) Finished(d time.Duration, err error) {
+	p.busyNs.Add(int64(d))
+	if err != nil {
+		p.errs.Add(1)
+	}
+	p.done.Add(1)
+}
+
+// Done returns jobs finished and jobs enqueued so far.
+func (p *Progress) Done() (done, total int64) {
+	return p.done.Load(), p.total.Load()
+}
+
+// Line renders one status line: jobs done/total, percentage, mean job
+// latency, and a crude ETA assuming the remaining jobs run `workers`
+// wide at the mean latency seen so far. It never allocates beyond the
+// returned string, so a ticker can call it freely.
+func (p *Progress) Line(workers int) string {
+	done, total := p.done.Load(), p.total.Load()
+	if total == 0 {
+		return "progress: no jobs enqueued yet"
+	}
+	pct := 100 * float64(done) / float64(total)
+	var mean time.Duration
+	if done > 0 {
+		mean = time.Duration(p.busyNs.Load() / done)
+	}
+	line := fmt.Sprintf("progress: %d/%d jobs (%.0f%%)", done, total, pct)
+	if done > 0 {
+		line += fmt.Sprintf(", avg %s/job", mean.Round(time.Millisecond))
+	}
+	if rem := total - done; rem > 0 && done > 0 && workers > 0 {
+		eta := time.Duration(int64(mean) * rem / int64(workers))
+		line += fmt.Sprintf(", eta %s", eta.Round(time.Second))
+	}
+	if e := p.errs.Load(); e > 0 {
+		line += fmt.Sprintf(", %d failed", e)
+	}
+	return line
+}

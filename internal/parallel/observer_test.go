@@ -1,0 +1,121 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"eventcap/internal/obs"
+)
+
+// countingObserver records lifecycle callbacks for assertions.
+type countingObserver struct {
+	enqueued, started, finished, failed atomic.Int64
+	busy                                atomic.Int64
+}
+
+func (o *countingObserver) Enqueued(n int) { o.enqueued.Add(int64(n)) }
+func (o *countingObserver) Started()       { o.started.Add(1) }
+func (o *countingObserver) Finished(d time.Duration, err error) {
+	o.busy.Add(int64(d))
+	if err != nil {
+		o.failed.Add(1)
+	}
+	o.finished.Add(1)
+}
+
+func TestObserverSeesEveryJob(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		o := &countingObserver{}
+		SetObserver(o)
+		if _, err := Map(workers, 25, func(i int) (int, error) {
+			time.Sleep(time.Microsecond)
+			return i, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		SetObserver(nil)
+		if o.enqueued.Load() != 25 || o.started.Load() != 25 || o.finished.Load() != 25 {
+			t.Fatalf("workers=%d: enqueued/started/finished = %d/%d/%d, want 25 each",
+				workers, o.enqueued.Load(), o.started.Load(), o.finished.Load())
+		}
+		if o.failed.Load() != 0 {
+			t.Fatalf("workers=%d: %d failures reported", workers, o.failed.Load())
+		}
+		if o.busy.Load() <= 0 {
+			t.Fatalf("workers=%d: no busy time recorded", workers)
+		}
+	}
+}
+
+func TestObserverSeesErrors(t *testing.T) {
+	o := &countingObserver{}
+	SetObserver(o)
+	defer SetObserver(nil)
+	_, err := Map(2, 40, func(i int) (int, error) {
+		if i == 0 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if o.enqueued.Load() != 40 {
+		t.Fatalf("enqueued = %d", o.enqueued.Load())
+	}
+	if o.failed.Load() < 1 {
+		t.Fatal("failure not reported to observer")
+	}
+	// Cancelled jobs are never Started, so Finished <= enqueued; every
+	// Started job must still get its Finished callback.
+	if s, f := o.started.Load(), o.finished.Load(); s != f {
+		t.Fatalf("started %d != finished %d", s, f)
+	}
+}
+
+// TestPoolCountersDrainPending: the pool gauges must return to their
+// starting level after every Map call — including one cut short by an
+// error, where undispatched jobs drain in bulk.
+func TestPoolCountersDrainPending(t *testing.T) {
+	pending0 := obs.PoolPending.Load()
+	inflight0 := obs.PoolInFlight.Load()
+	done0 := obs.PoolJobsDone.Load()
+	enq0 := obs.PoolJobsEnqueued.Load()
+	errs0 := obs.PoolJobErrors.Load()
+
+	if _, err := Map(4, 30, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Map(2, 1000, func(i int) (int, error) {
+		if i == 0 {
+			return 0, errors.New("boom")
+		}
+		time.Sleep(time.Microsecond)
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+
+	if got := obs.PoolPending.Load(); got != pending0 {
+		t.Errorf("pending gauge leaked: %d, started at %d", got, pending0)
+	}
+	if got := obs.PoolInFlight.Load(); got != inflight0 {
+		t.Errorf("inflight gauge leaked: %d, started at %d", got, inflight0)
+	}
+	if got := obs.PoolJobsEnqueued.Load() - enq0; got != 1030 {
+		t.Errorf("enqueued delta = %d, want 1030", got)
+	}
+	if got := obs.PoolJobErrors.Load() - errs0; got < 1 {
+		t.Errorf("error counter delta = %d", got)
+	}
+	done := obs.PoolJobsDone.Load() - done0
+	if done < 31 || done > 1030 {
+		t.Errorf("done delta = %d, want in [31, 1030]", done)
+	}
+	if obs.PoolLatency.Count() == 0 {
+		t.Error("latency histogram empty")
+	}
+}

@@ -19,7 +19,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"eventcap/internal/obs"
 	"eventcap/internal/rng"
 )
 
@@ -49,6 +51,42 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("parallel: job %d panicked: %v\n%s", e.Job, e.Value, e.Stack)
 }
 
+// Observer receives pool lifecycle callbacks for live progress
+// reporting: Enqueued(n) when a Map call admits n jobs, Started when a
+// job begins executing, and Finished with the job's wall time (and its
+// error, nil on success) when it completes. Callbacks may arrive
+// concurrently from every worker goroutine, so implementations must be
+// safe for concurrent use; obs.Progress is the canonical one. Jobs
+// cancelled by an earlier failure are never Started, so a batch may
+// finish with fewer Finished calls than were Enqueued.
+type Observer interface {
+	Enqueued(n int)
+	Started()
+	Finished(d time.Duration, err error)
+}
+
+// observer is the process-wide pool observer (nil when unset). Stored
+// behind a pointer so Load/Store stay atomic for an interface value.
+var observer atomic.Pointer[Observer]
+
+// SetObserver installs o as the pool observer for subsequent Map calls
+// (nil uninstalls). Intended to be set once at process start by the
+// experiment driver; Map calls already in flight may miss the change.
+func SetObserver(o Observer) {
+	if o == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&o)
+}
+
+func loadObserver() Observer {
+	if p := observer.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // Map runs fn(i) for every i in [0, n) on at most Workers(workers)
 // goroutines and returns the results in index order. The first failing
 // job (lowest index among jobs that ran) cancels dispatch of not-yet
@@ -63,12 +101,24 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if w > n {
 		w = n
 	}
+	o := loadObserver()
+	obs.PoolJobsEnqueued.Add(int64(n))
+	obs.PoolPending.Add(int64(n))
+	if o != nil {
+		o.Enqueued(n)
+	}
+	// Each dispatched job moves itself from pending to in-flight; jobs an
+	// early error left undispatched drain from the pending gauge here.
+	var dispatched atomic.Int64
+	defer func() { obs.PoolPending.Add(dispatched.Load() - int64(n)) }()
+
 	out := make([]T, n)
 	if w == 1 {
 		// Sequential fast path: same semantics (panic capture, stop at
 		// first error), no goroutine overhead.
 		for i := 0; i < n; i++ {
-			v, err := runJob(i, fn)
+			dispatched.Add(1)
+			v, err := runJobObserved(i, fn, o)
 			if err != nil {
 				return nil, err
 			}
@@ -106,7 +156,8 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 				if i >= n {
 					return
 				}
-				v, err := runJob(i, fn)
+				dispatched.Add(1)
+				v, err := runJobObserved(i, fn, o)
 				if err != nil {
 					record(i, err)
 					return
@@ -120,6 +171,29 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// runJobObserved wraps runJob with the pending → in-flight → done
+// bookkeeping and the latency observation shared by both Map paths.
+func runJobObserved[T any](i int, fn func(int) (T, error), o Observer) (T, error) {
+	obs.PoolPending.Add(-1)
+	obs.PoolInFlight.Add(1)
+	if o != nil {
+		o.Started()
+	}
+	start := time.Now()
+	v, err := runJob(i, fn)
+	d := time.Since(start)
+	obs.PoolInFlight.Add(-1)
+	obs.PoolJobsDone.Inc()
+	obs.PoolLatency.Observe(d)
+	if err != nil {
+		obs.PoolJobErrors.Inc()
+	}
+	if o != nil {
+		o.Finished(d, err)
+	}
+	return v, err
 }
 
 // runJob executes one job with panic capture.

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"eventcap/internal/core"
 	"eventcap/internal/energy"
@@ -184,8 +185,30 @@ func runKernel(cfg Config, plan *kernelPlan) (*Result, error) {
 		bernQ, bernC = bern.Q(), bern.C()
 	}
 
-	res := &Result{Slots: cfg.Slots, Sensors: make([]SensorStats, 1)}
+	res := &Result{Slots: cfg.Slots, Sensors: make([]SensorStats, 1), Engine: EngineKernel}
 	stats := &res.Sensors[0]
+	var m *Metrics
+	if cfg.Metrics {
+		m = &Metrics{}
+		res.Metrics = m
+	}
+	// Per-awake-slot metric accumulators stay in locals (registers)
+	// inside the loop and flush into m once at the end, keeping the
+	// instrumented kernel within the slot-loop overhead budget of
+	// DESIGN.md §9. costGate mirrors energy.Battery.CanConsume.
+	invCap := 1 / cfg.BatteryCap
+	binScale := batteryBins * invCap
+	costGate := cost - 1e-12
+	var obsSlots, outage int64
+	var fracSum float64
+	// sampleCountdown strides the battery observation over awake slots:
+	// it costs one decrement-and-test per awake slot whether metrics are
+	// on or off (off starts from MaxInt64 and never fires), so enabling
+	// collection only pays for every batterySampleStride-th observation.
+	sampleCountdown := int64(math.MaxInt64)
+	if m != nil {
+		sampleCountdown = batterySampleStride
+	}
 
 	// The paper assumes an event (and capture) at slot 0.
 	lastEvent, lastCapture := int64(0), int64(0)
@@ -216,6 +239,7 @@ func runKernel(cfg Config, plan *kernelPlan) (*Result, error) {
 			if left := cfg.Slots - t + 1; n > left {
 				n = left
 			}
+			eventsBefore := res.Events
 			if plan.state == StateSinceEvent && nextEvent-t+1 <= n {
 				// The event resets h to 1 for the following slot, ending
 				// the run at the (slept-through) event slot itself.
@@ -236,6 +260,13 @@ func runKernel(cfg Config, plan *kernelPlan) (*Result, error) {
 					nextEvent += int64(cfg.Dist.Sample(eventSrc))
 				}
 			}
+			if m != nil {
+				// Every event inside a sleep run is a policy-scheduled
+				// miss: the sensor slept through it by construction.
+				m.KernelRuns++
+				m.KernelSlotsFastForwarded += n
+				m.MissAsleep += res.Events - eventsBefore
+			}
 			t += n
 			continue
 		}
@@ -249,9 +280,11 @@ func runKernel(cfg Config, plan *kernelPlan) (*Result, error) {
 			battery.Recharge(rech.Next(rechargeSrc))
 		}
 		event := t == nextEvent
+		captured, denied := false, false
 		if decisionSrc.Bernoulli(table.At(int(st))) {
 			if !battery.CanConsume(cost) {
 				stats.Denied++
+				denied = true
 			} else {
 				battery.Consume(delta1)
 				stats.Activations++
@@ -260,6 +293,7 @@ func runKernel(cfg Config, plan *kernelPlan) (*Result, error) {
 					stats.Captures++
 					res.Captures++
 					lastCapture = t
+					captured = true
 				}
 			}
 		}
@@ -267,6 +301,30 @@ func runKernel(cfg Config, plan *kernelPlan) (*Result, error) {
 			res.Events++
 			lastEvent = t
 			nextEvent = t + int64(cfg.Dist.Sample(eventSrc))
+			if m != nil && !captured {
+				if denied {
+					m.MissNoEnergy++
+				} else {
+					m.MissAsleep++
+				}
+			}
+		}
+		// End-of-slot battery sample on every stride-th awake slot,
+		// matching the per-slot engines' end-of-slot semantics.
+		sampleCountdown--
+		if sampleCountdown == 0 {
+			sampleCountdown = batterySampleStride
+			lvl := battery.Level()
+			obsSlots++
+			fracSum += lvl * invCap
+			bin := int(lvl * binScale)
+			if bin >= batteryBins {
+				bin = batteryBins - 1
+			}
+			m.BatteryHist[bin]++
+			if lvl < costGate {
+				outage++
+			}
 		}
 		t++
 	}
@@ -276,6 +334,16 @@ func runKernel(cfg Config, plan *kernelPlan) (*Result, error) {
 	stats.FinalBattery = battery.Level()
 	if res.Events > 0 {
 		res.QoM = float64(res.Captures) / float64(res.Events)
+	}
+	recordEngine(res.Engine)
+	if m != nil {
+		m.ObservedSlots = obsSlots
+		m.BatteryFracSum = fracSum
+		m.EnergyOutageSlots = outage
+		// An activation on an event slot always captures, so wasted
+		// (no-event) activations are exactly activations − captures.
+		m.WastedActivations = stats.Activations - stats.Captures
+		m.publish(res)
 	}
 	return res, nil
 }

@@ -91,6 +91,13 @@ func TestKernelByteIdenticalDeterministicRecharge(t *testing.T) {
 					if err != nil {
 						t.Fatalf("%s/%s K=%g: kernel: %v", kc.name, rc.name, batteryCap, err)
 					}
+					// The Engine field is bookkeeping and differs by
+					// construction; every physical field must still match.
+					if got.Engine != EngineKernel || want.Engine != EngineReference {
+						t.Fatalf("%s/%s K=%g seed=%d: engines %v/%v, want kernel/reference",
+							kc.name, rc.name, batteryCap, seed, got.Engine, want.Engine)
+					}
+					got.Engine = want.Engine
 					if !reflect.DeepEqual(got, want) {
 						t.Errorf("%s/%s K=%g seed=%d:\nkernel    %+v\nreference %+v",
 							kc.name, rc.name, batteryCap, seed, got, want)

@@ -137,9 +137,16 @@ type Result struct {
 	Sensors []SensorStats
 	// Timeline holds periodic snapshots when Config.SampleEvery > 0.
 	Timeline []TimelinePoint
+	// Engine records the engine that actually executed the run (the
+	// reference engine or the compiled kernel) — under EngineAuto the
+	// caller cannot know otherwise.
+	Engine Engine
+	// Metrics holds the run's observability counters when
+	// Config.Metrics is set, nil otherwise.
+	Metrics *Metrics
 }
 
-// LoadImbalance returns (max − min)/mean of per-sensor activation counts:
+// LoadImbalance returns (max - min)/mean of per-sensor activation counts:
 // 0 is perfect balance (Section V-A's load-balancing concern). It returns
 // 0 when no sensor activated.
 func (r *Result) LoadImbalance() float64 {
@@ -216,6 +223,13 @@ type Config struct {
 	// SampleEvery, when positive, records a TimelinePoint every that
 	// many slots (running QoM, per-window QoM, battery level).
 	SampleEvery int64
+
+	// Metrics, when true, collects the per-run observability counters of
+	// the Metrics struct into Result.Metrics and folds them into the
+	// process-wide obs totals. Collection is RNG-neutral: it never
+	// consumes a random draw, so outputs are byte-identical with it on
+	// or off (asserted by TestMetricsDoNotChangeResults).
+	Metrics bool
 
 	// Engine selects the simulation engine. The default, EngineAuto, runs
 	// the compiled slot-skipping kernel whenever the configuration is
@@ -334,7 +348,21 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	cost := cfg.Params.ActivationCost()
-	res := &Result{Slots: cfg.Slots, Sensors: make([]SensorStats, cfg.N)}
+	res := &Result{Slots: cfg.Slots, Sensors: make([]SensorStats, cfg.N), Engine: EngineReference}
+	var m *Metrics
+	if cfg.Metrics {
+		m = &Metrics{}
+		res.Metrics = m
+	}
+	// Per-slot metric accumulators stay in locals (registers) inside the
+	// loop and flush into m once at the end, keeping the instrumented
+	// loop within the overhead budget of DESIGN.md §9. costGate mirrors
+	// energy.Battery.CanConsume.
+	invCap := 1 / cfg.BatteryCap
+	binScale := batteryBins * invCap
+	costGate := cost - 1e-12
+	var obsSlots, outage int64
+	var fracSum float64
 
 	// The paper assumes an event (and, for PI, a capture) at slot 0.
 	lastEvent := int64(0)
@@ -365,9 +393,10 @@ func Run(cfg Config) (*Result, error) {
 	// would allocate every iteration); the per-slot variables it reads are
 	// declared alongside it and mutated by the loop.
 	var (
-		t        int64
-		event    bool
-		captured bool
+		t           int64
+		event       bool
+		captured    bool
+		eventDenied bool // an activation attempt hit the energy gate in an event slot
 	)
 	decide := func(s int) {
 		if failed[s] {
@@ -393,6 +422,9 @@ func Run(cfg Config) (*Result, error) {
 		stats := &res.Sensors[s]
 		if !batteries[s].CanConsume(cost) {
 			stats.Denied++
+			if event {
+				eventDenied = true
+			}
 			policies[s].Observe(outcomeFor(cfg.Info, false, event, false))
 			return
 		}
@@ -407,76 +439,117 @@ func Run(cfg Config) (*Result, error) {
 		policies[s].Observe(outcomeFor(cfg.Info, true, event, event))
 	}
 
-	for t = 1; t <= cfg.Slots; t++ {
-		if hasFail {
-			for s := 0; s < cfg.N; s++ {
-				if t >= failSlot[s] {
-					failed[s] = true
+	// The slot loop is blocked into batterySampleStride-long chunks so
+	// the battery observation runs between chunks rather than on a
+	// data-dependent branch inside the loop: a period-stride pattern
+	// inside a body with dozens of branches is beyond any predictor's
+	// history, and the resulting mispredictions cost far more than the
+	// observation itself. With metrics off there is a single chunk and
+	// the loop is exactly the uninstrumented loop.
+	chunkLen := cfg.Slots
+	if m != nil {
+		chunkLen = batterySampleStride
+	}
+	for t = 1; t <= cfg.Slots; {
+		chunkEnd := t + chunkLen - 1
+		if chunkEnd > cfg.Slots {
+			chunkEnd = cfg.Slots
+		}
+		for ; t <= chunkEnd; t++ {
+			if hasFail {
+				for s := 0; s < cfg.N; s++ {
+					if t >= failSlot[s] {
+						failed[s] = true
+					}
 				}
 			}
-		}
-		// 1. Recharge completes at the beginning of the slot.
-		for s := 0; s < cfg.N; s++ {
-			if failed[s] {
-				continue
-			}
-			batteries[s].Recharge(recharges[s].Next(rechargeSrcs[s]))
-		}
-
-		event = t == nextEvent
-		charge := cfg.inCharge(t)
-		captured = false
-		for s := 0; s < cfg.N; s++ {
-			actions[s] = false
-		}
-
-		if charge >= 0 {
-			decide(charge)
-		} else {
+			// 1. Recharge completes at the beginning of the slot.
 			for s := 0; s < cfg.N; s++ {
-				decide(s)
+				if failed[s] {
+					continue
+				}
+				batteries[s].Recharge(recharges[s].Next(rechargeSrcs[s]))
 			}
-		}
 
-		if cfg.Trace != nil {
-			// Record decision-time states (the paper's H_t / F_t).
-			rec := TraceRecord{
-				Slot:         t,
-				InCharge:     charge,
-				Event:        event,
-				SinceEvent:   int(t - lastEvent),
-				SinceCapture: int(t - sharedLastCapture),
-				Actions:      append([]bool(nil), actions...),
-				Captured:     captured,
-			}
-			cfg.Trace(rec)
-		}
-		if event {
-			res.Events++
-			lastEvent = t
-			nextEvent = t + int64(cfg.Dist.Sample(eventSrc))
-		}
-		if captured {
-			res.Captures++
-			sharedLastCapture = t
+			event = t == nextEvent
+			charge := cfg.inCharge(t)
+			captured = false
+			eventDenied = false
 			for s := 0; s < cfg.N; s++ {
-				if actions[s] {
-					ownLastCapture[s] = t
+				actions[s] = false
+			}
+
+			if charge >= 0 {
+				decide(charge)
+			} else {
+				for s := 0; s < cfg.N; s++ {
+					decide(s)
 				}
 			}
+
+			if cfg.Trace != nil {
+				// Record decision-time states (the paper's H_t / F_t).
+				rec := TraceRecord{
+					Slot:         t,
+					InCharge:     charge,
+					Event:        event,
+					SinceEvent:   int(t - lastEvent),
+					SinceCapture: int(t - sharedLastCapture),
+					Actions:      append([]bool(nil), actions...),
+					Captured:     captured,
+				}
+				cfg.Trace(rec)
+			}
+			if event {
+				res.Events++
+				lastEvent = t
+				nextEvent = t + int64(cfg.Dist.Sample(eventSrc))
+				if m != nil && !captured {
+					if eventDenied {
+						m.MissNoEnergy++
+					} else {
+						m.MissAsleep++
+					}
+				}
+			}
+			if captured {
+				res.Captures++
+				sharedLastCapture = t
+				for s := 0; s < cfg.N; s++ {
+					if actions[s] {
+						ownLastCapture[s] = t
+					}
+				}
+			}
+			if cfg.SampleEvery > 0 && t%cfg.SampleEvery == 0 {
+				point := TimelinePoint{Slot: t, Battery: batteries[0].Level()}
+				if res.Events > 0 {
+					point.QoM = float64(res.Captures) / float64(res.Events)
+				}
+				wEvents := res.Events - windowEvents
+				wCaptures := res.Captures - windowCaptures
+				if wEvents > 0 {
+					point.WindowQoM = float64(wCaptures) / float64(wEvents)
+				}
+				windowEvents, windowCaptures = res.Events, res.Captures
+				res.Timeline = append(res.Timeline, point)
+			}
 		}
-		if cfg.SampleEvery > 0 && t%cfg.SampleEvery == 0 {
-			point := TimelinePoint{Slot: t, Battery: batteries[0].Level()}
-			if res.Events > 0 {
-				point.QoM = float64(res.Captures) / float64(res.Events)
+		// Sample sensor 0's end-of-slot battery level once per full
+		// chunk (chunkEnd is stride-aligned except possibly the last,
+		// so ObservedSlots == Slots/batterySampleStride exactly).
+		if m != nil && chunkEnd&(batterySampleStride-1) == 0 {
+			lvl := batteries[0].Level()
+			obsSlots++
+			fracSum += lvl * invCap
+			bin := int(lvl * binScale)
+			if bin >= batteryBins {
+				bin = batteryBins - 1
 			}
-			wEvents := res.Events - windowEvents
-			wCaptures := res.Captures - windowCaptures
-			if wEvents > 0 {
-				point.WindowQoM = float64(wCaptures) / float64(wEvents)
+			m.BatteryHist[bin]++
+			if lvl < costGate {
+				outage++
 			}
-			windowEvents, windowCaptures = res.Events, res.Captures
-			res.Timeline = append(res.Timeline, point)
 		}
 	}
 
@@ -488,6 +561,20 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if res.Events > 0 {
 		res.QoM = float64(res.Captures) / float64(res.Events)
+	}
+	recordEngine(res.Engine)
+	if m != nil {
+		m.ObservedSlots = obsSlots
+		m.BatteryFracSum = fracSum
+		m.EnergyOutageSlots = outage
+		// An activation on an event slot always captures, so the wasted
+		// (no-event) activations are exactly activations − captures per
+		// sensor; deriving the count here keeps the branch out of the
+		// hot activation path.
+		for i := range res.Sensors {
+			m.WastedActivations += res.Sensors[i].Activations - res.Sensors[i].Captures
+		}
+		m.publish(res)
 	}
 	return res, nil
 }
@@ -520,9 +607,12 @@ func runIndependent(cfg Config) (*Result, error) {
 	}
 
 	cost := cfg.Params.ActivationCost()
+	invCap := 1 / cfg.BatteryCap
 	type sensorOut struct {
 		stats    SensorStats
 		captured []bool // indexed like eventSlots
+		denied   []bool // energy-denied attempts per event (metrics only)
+		m        *Metrics
 	}
 	outs, err := parallel.Map(cfg.Workers, cfg.N, func(s int) (sensorOut, error) {
 		b, err := energy.NewBattery(cfg.BatteryCap, cfg.InitialBattery)
@@ -538,6 +628,11 @@ func runIndependent(cfg Config) (*Result, error) {
 			failSlot = fs
 		}
 		out := sensorOut{captured: make([]bool, len(eventSlots))}
+		if cfg.Metrics {
+			out.denied = make([]bool, len(eventSlots))
+			out.m = &Metrics{}
+		}
+		m := out.m
 		lastCapture := int64(0)
 		ei := 0
 		for t := int64(1); t <= cfg.Slots && t < failSlot; t++ {
@@ -555,6 +650,9 @@ func runIndependent(cfg Config) (*Result, error) {
 				pol.Observe(outcomeFor(cfg.Info, false, event, false))
 			case !b.CanConsume(cost):
 				out.stats.Denied++
+				if m != nil && event {
+					out.denied[ei] = true
+				}
 				pol.Observe(outcomeFor(cfg.Info, false, event, false))
 			default:
 				b.Consume(cfg.Params.Delta1)
@@ -570,10 +668,24 @@ func runIndependent(cfg Config) (*Result, error) {
 			if event {
 				ei++
 			}
+			// Battery occupancy is defined on sensor 0's end-of-slot
+			// level, matching the sequential engine and
+			// TimelinePoint.Battery.
+			if m != nil && s == 0 && t&(batterySampleStride-1) == 0 {
+				m.observeBattery(b.Level() * invCap)
+				if !b.CanConsume(cost) {
+					m.EnergyOutageSlots++
+				}
+			}
 		}
 		out.stats.EnergyConsumed = b.Consumed()
 		out.stats.OverflowLost = b.OverflowLost()
 		out.stats.FinalBattery = b.Level()
+		if m != nil {
+			// Same identity as the sequential engine: an activation on
+			// an event slot always captures.
+			m.WastedActivations = out.stats.Activations - out.stats.Captures
+		}
 		return out, nil
 	})
 	if err != nil {
@@ -584,6 +696,14 @@ func runIndependent(cfg Config) (*Result, error) {
 		Slots:   cfg.Slots,
 		Events:  int64(len(eventSlots)),
 		Sensors: make([]SensorStats, cfg.N),
+		Engine:  EngineReference,
+	}
+	var m *Metrics
+	var deniedAny []bool
+	if cfg.Metrics {
+		m = &Metrics{}
+		res.Metrics = m
+		deniedAny = make([]bool, len(eventSlots))
 	}
 	capturedAny := make([]bool, len(eventSlots))
 	for s, o := range outs {
@@ -593,14 +713,32 @@ func runIndependent(cfg Config) (*Result, error) {
 				capturedAny[i] = true
 			}
 		}
+		if m != nil {
+			m.Merge(o.m)
+			for i, d := range o.denied {
+				if d {
+					deniedAny[i] = true
+				}
+			}
+		}
 	}
-	for _, c := range capturedAny {
+	for i, c := range capturedAny {
 		if c {
 			res.Captures++
+		} else if m != nil {
+			if deniedAny[i] {
+				m.MissNoEnergy++
+			} else {
+				m.MissAsleep++
+			}
 		}
 	}
 	if res.Events > 0 {
 		res.QoM = float64(res.Captures) / float64(res.Events)
+	}
+	recordEngine(res.Engine)
+	if m != nil {
+		m.publish(res)
 	}
 	return res, nil
 }
