@@ -1,14 +1,15 @@
 # Development targets. `make check` is the gate a change must pass:
-# vet + build + full test suite + race-enabled library tests + a
-# one-iteration benchmark smoke to catch bit-rot in the bench harness.
+# vet + build + full test suite + the determinism/invariant lint suite
+# + race-enabled library tests + a one-iteration benchmark smoke to
+# catch bit-rot in the bench harness.
 
 GO ?= go
 
-.PHONY: all check vet build test race bench-smoke bench bench-kernel-json bench-obs-json clean
+.PHONY: all check vet build test lint fuzz-smoke race bench-smoke bench bench-kernel-json bench-obs-json clean
 
 all: check
 
-check: vet build test race bench-smoke
+check: vet build test lint race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +19,30 @@ build:
 
 test:
 	$(GO) test ./...
+
+# The determinism & invariant lint suite (DESIGN.md §10): five custom
+# analyzers over the module, zero unsuppressed findings allowed.
+# govulncheck needs network access to fetch the vulnerability DB, so it
+# runs only where installed (the CI lint job installs it); the custom
+# analyzers are the offline-safe hard gate.
+lint:
+	$(GO) run ./cmd/eventcap-lint ./...
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; skipped (the CI lint job runs it)"; \
+	fi
+
+# Short-budget fuzzing of the numeric contracts: binomial sampling vs
+# CDF inversion, policy serialization round-trips, and the O(1)
+# recharge closed form vs the sequential loop. Seed corpora live in
+# testdata/fuzz; CI runs this same budget per target.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzSampleBinomial -fuzztime $(FUZZTIME) ./internal/dist
+	$(GO) test -run '^$$' -fuzz FuzzVectorJSONRoundTrip -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzClusteringPolicyRoundTrip -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzRechargeN -fuzztime $(FUZZTIME) ./internal/energy
 
 # -short skips the long single-threaded solver sweeps (they exercise no
 # concurrency); the kernel equivalence tests always run. The raised

@@ -1,0 +1,98 @@
+// Command eventcap-lint runs the repository's determinism and invariant
+// lint suite (DESIGN.md §10): five custom analyzers — nondeterm,
+// floateq, probrange, seedflow, expvarname — over the module's
+// packages, scoped per analyzers.For. It exits nonzero when any
+// unsuppressed finding remains, which is what makes `make lint` and the
+// CI lint job hard gates.
+//
+// Usage:
+//
+//	eventcap-lint [-list] [-C dir] [packages ...]
+//
+// With no package arguments it lints ./.... -list prints the registered
+// analyzer suite and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eventcap/internal/analysis"
+	"eventcap/internal/analysis/analyzers"
+	"eventcap/internal/analysis/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("eventcap-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the registered analyzers and exit")
+	dir := fs.String("C", ".", "directory to run in (the module root)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := Lint(*dir, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "eventcap-lint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "eventcap-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// Lint loads the packages matched by patterns under dir and runs each
+// applicable analyzer, returning formatted findings sorted by position.
+func Lint(dir string, patterns []string) ([]string, error) {
+	pkgs, err := load.Packages(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		suite := analyzers.For(pkg.ImportPath)
+		if len(suite) == 0 {
+			continue
+		}
+		var diags []analysis.Diagnostic
+		for _, a := range suite {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+		analysis.SortDiagnostics(pkg.Fset, diags)
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			out = append(out, fmt.Sprintf("%s:%d:%d: [%s] %s",
+				pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message))
+		}
+	}
+	return out, nil
+}

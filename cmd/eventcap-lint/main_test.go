@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"eventcap/internal/analysis/analyzers"
+)
+
+// TestLintCleanPackage runs the real driver over a package that must be
+// clean: the annotated rng package, which carries a justified floateq
+// exception. Zero findings proves both the load path and the
+// justification plumbing end to end.
+func TestLintCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	diags, err := Lint("../..", []string{"./internal/rng"})
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("expected clean lint, got %d finding(s):\n%s", len(diags), strings.Join(diags, "\n"))
+	}
+}
+
+// TestLintWiresFullSuite asserts the command exposes exactly the
+// registered analyzer set (the -list contract scripts depend on).
+func TestLintWiresFullSuite(t *testing.T) {
+	want := map[string]bool{
+		"nondeterm": true, "floateq": true, "probrange": true,
+		"seedflow": true, "expvarname": true,
+	}
+	got := analyzers.All()
+	if len(got) != len(want) {
+		t.Fatalf("command registers %d analyzers, want %d", len(got), len(want))
+	}
+	for _, a := range got {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q", a.Name)
+		}
+	}
+}

@@ -114,6 +114,7 @@ func describeVector(v core.Vector) string {
 	for i <= limit {
 		c := v.At(i)
 		j := i
+		// floateq:ok display run-length grouping: only bit-identical probabilities collapse
 		for j+1 <= limit && v.At(j+1) == c {
 			j++
 		}

@@ -1,0 +1,180 @@
+// Package analysistest runs one analyzer over a fixture package and
+// compares its findings against expectations embedded in the fixture
+// source, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	x := a.p == b.p // want `floating-point`
+//
+// A `// want` comment expects, on its own line, one diagnostic per
+// backquoted or double-quoted regexp, in order. Lines without a want
+// comment must produce no diagnostics. Fixtures may import standard
+// library packages and this module's packages (internal/rng,
+// internal/obs, ...): imports resolve through the same `go list
+// -export` data the lint driver uses, with a handful of std packages
+// force-listed so fixtures can exercise rules (math/rand, time) the
+// module itself never imports.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"eventcap/internal/analysis"
+	"eventcap/internal/analysis/load"
+)
+
+// extraStd are standard-library packages fixtures may import even
+// though the module's own dependency closure does not contain them.
+var extraStd = []string{"math/rand", "time", "math", "sort"}
+
+var (
+	exportsOnce sync.Once
+	exports     load.Exports
+	exportsErr  error
+)
+
+// moduleRoot walks up from the working directory to the directory
+// containing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysistest: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+func moduleExports() (load.Exports, error) {
+	exportsOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			exportsErr = err
+			return
+		}
+		patterns := append([]string{"./..."}, extraStd...)
+		_, exports, exportsErr = load.List(root, patterns...)
+	})
+	return exports, exportsErr
+}
+
+// Run type-checks the fixture package in dir (relative to the test's
+// working directory) and executes a over it, comparing diagnostics to
+// the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	exp, err := moduleExports()
+	if err != nil {
+		t.Fatalf("loading module export data: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	sort.Strings(goFiles)
+	if len(goFiles) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	pkg, err := load.Check(fset, exp.Importer(fset), "fixture/"+filepath.Base(dir), dir, goFiles)
+	if err != nil {
+		t.Fatalf("fixture does not type-check: %v", err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	analysis.SortDiagnostics(fset, diags)
+
+	// Group findings by file:line.
+	got := make(map[string][]string)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		got[key] = append(got[key], d.Message)
+	}
+	want := wantComments(t, pkg)
+
+	for key, patterns := range want {
+		msgs := got[key]
+		if len(msgs) != len(patterns) {
+			t.Errorf("%s: want %d diagnostic(s), got %d: %q", key, len(patterns), len(msgs), msgs)
+			continue
+		}
+		for i, p := range patterns {
+			re, err := regexp.Compile(p)
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %q: %v", key, p, err)
+			}
+			if !re.MatchString(msgs[i]) {
+				t.Errorf("%s: diagnostic %q does not match want %q", key, msgs[i], p)
+			}
+		}
+	}
+	for key, msgs := range got {
+		if _, ok := want[key]; !ok {
+			t.Errorf("%s: unexpected diagnostic(s): %q", key, msgs)
+		}
+	}
+}
+
+// wantRE extracts backquoted or double-quoted patterns after "want".
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// wantComments collects `// want ...` expectations keyed by file:line.
+func wantComments(t *testing.T, pkg *load.Package) map[string][]string {
+	t.Helper()
+	out := make(map[string][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, m := range wantRE.FindAllStringSubmatch(text[idx+len("// want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					out[key] = append(out[key], pat)
+				}
+				if len(out[key]) == 0 {
+					t.Fatalf("%s: want comment with no quoted pattern: %s", key, text)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,17 @@
+package analyzers
+
+import (
+	"testing"
+
+	"eventcap/internal/analysis/analysistest"
+)
+
+// Each analyzer's fixture demonstrates at least one caught violation
+// and at least one accepted justified exception; the fixture's want
+// comments are the assertions (see analysistest).
+
+func TestNondeterm(t *testing.T)  { analysistest.Run(t, "testdata/nondeterm", Nondeterm) }
+func TestFloateq(t *testing.T)    { analysistest.Run(t, "testdata/floateq", Floateq) }
+func TestProbrange(t *testing.T)  { analysistest.Run(t, "testdata/probrange", Probrange) }
+func TestSeedflow(t *testing.T)   { analysistest.Run(t, "testdata/seedflow", Seedflow) }
+func TestExpvarname(t *testing.T) { analysistest.Run(t, "testdata/expvarname", Expvarname) }

@@ -1,0 +1,77 @@
+package analyzers
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+
+	"eventcap/internal/analysis"
+)
+
+// ExpvarnameMarker suppresses an expvarname finding when it appears,
+// with a reason, on the flagged line or the line above.
+const ExpvarnameMarker = "expvarname:ok"
+
+// metricNameRE is the eventcap metric naming schema: lowercase
+// dot-separated segments, each starting with a letter, using only
+// [a-z0-9_]. Examples: sim.miss.asleep, pool.jobs.enqueued,
+// sim.battery.frac_sum.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$`)
+
+// metricConstructors are the internal/obs entry points that register a
+// metric under the given name.
+var metricConstructors = []string{
+	"NewCounter", "NewGauge", "NewFloatCounter", "NewCounterVec", "NewDurationHist",
+}
+
+// Expvarname checks every metric registration against the eventcap
+// naming schema. All metrics surface in one expvar map under
+// /debug/vars; dashboards and the run-manifest Diff keys are built from
+// these strings, so a stray uppercase letter or hyphen becomes a
+// permanent dashboard migration. Names must be string literals — a
+// computed name cannot be schema-checked statically and defeats
+// grep-ability — and match ^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$.
+var Expvarname = &analysis.Analyzer{
+	Name: "expvarname",
+	Doc: "obs metric names must be string literals matching the eventcap schema " +
+		"(lowercase dot-separated [a-z0-9_] segments); suppress with // expvarname:ok <reason>",
+	Run: runExpvarname,
+}
+
+func runExpvarname(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			matched := false
+			for _, ctor := range metricConstructors {
+				if pass.CalleeIn(call, "internal/obs", ctor) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			lit, ok := arg.(*ast.BasicLit)
+			if !ok {
+				if !pass.Justified(call.Pos(), ExpvarnameMarker) {
+					pass.Reportf(arg.Pos(), "metric name is not a string literal: computed names cannot be schema-checked or grepped (// %s <reason> to suppress)", ExpvarnameMarker)
+				}
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !metricNameRE.MatchString(name) && !pass.Justified(call.Pos(), ExpvarnameMarker) {
+				pass.Reportf(lit.Pos(), "metric name %q violates the eventcap schema %s (// %s <reason> to suppress)", name, metricNameRE.String(), ExpvarnameMarker)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+
+	"eventcap/internal/analysis"
+)
+
+// FloateqMarker suppresses a floateq finding when it appears, with a
+// reason, on the flagged line or the line above.
+const FloateqMarker = "floateq:ok"
+
+// Floateq flags == and != between floating-point operands. Exact float
+// equality is almost always a latent bug — two mathematically equal
+// expressions round differently — and the few legitimate uses in this
+// codebase are deliberate, documented exactness checks (dyadic-grid
+// proofs in energy, prefix compression in core). Those must either:
+//
+//   - compare against the exact constant zero, the one sentinel IEEE-754
+//     makes reliable (allowed without annotation: `x == 0` tests "no
+//     mass here", and a sum that should be zero either is or isn't), or
+//   - carry a "// floateq:ok <reason>" justification, or
+//   - live in internal/numeric, the blessed home of tolerance helpers
+//     (the driver scopes the analyzer away from it).
+//
+// Everything else should go through the numeric helpers or compare
+// exact bit patterns (math.Float64bits) as the policy caches do.
+var Floateq = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= on floating-point values outside exact-zero sentinels and " +
+		"the numeric tolerance helpers; suppress with // floateq:ok <reason>",
+	Run: runFloateq,
+}
+
+func runFloateq(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !analysis.IsFloat(pass.TypeOf(be.X)) && !analysis.IsFloat(pass.TypeOf(be.Y)) {
+				return true
+			}
+			if isExactZero(pass, be.X) || isExactZero(pass, be.Y) {
+				return true
+			}
+			if pass.Justified(be.Pos(), FloateqMarker) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "%s on floating-point values: use an exact-zero sentinel, a numeric tolerance helper, or math.Float64bits; // %s <reason> if bit-exact comparison is intended", be.Op, FloateqMarker)
+			return true
+		})
+	}
+	return nil
+}
+
+// isExactZero reports whether e is a compile-time constant equal to
+// exactly zero (literal 0, 0.0, or a named constant folding to zero).
+func isExactZero(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	if tv.Value.Kind() != constant.Float && tv.Value.Kind() != constant.Int {
+		return false
+	}
+	f, _ := constant.Float64Val(tv.Value)
+	return f == 0
+}

@@ -1,0 +1,141 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"eventcap/internal/analysis"
+)
+
+// NondetermMarker suppresses a nondeterm finding when it appears, with a
+// reason, on the flagged line or the line above.
+const NondetermMarker = "nondeterm:ok"
+
+// Nondeterm enforces the determinism contract of the simulation stack
+// (DESIGN.md §7/§10): results must be byte-identical for any -workers
+// value and any goroutine interleaving. Inside the simulation-path
+// packages it forbids the four classic ways a Go program smuggles in
+// nondeterminism:
+//
+//   - importing math/rand or math/rand/v2 (globally seeded, not
+//     splittable, shared across goroutines);
+//   - calling time.Now / time.Since (wall-clock dependence in a result
+//     path — timing belongs to the parallel/obs layers);
+//   - ranging over a map (iteration order is deliberately randomized
+//     by the runtime);
+//   - writing to captured variables from inside a `go` statement
+//     (goroutine-unordered writes race with the spawning code).
+//
+// A finding is suppressed by "// nondeterm:ok <reason>" when the site
+// is provably order-independent (for example a map range whose body
+// writes disjoint slots of a slice).
+var Nondeterm = &analysis.Analyzer{
+	Name: "nondeterm",
+	Doc: "forbid math/rand, time.Now, map iteration and goroutine-unordered writes " +
+		"in simulation-path packages; suppress with // nondeterm:ok <reason>",
+	Run: runNondeterm,
+}
+
+func runNondeterm(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				if !pass.Justified(imp.Pos(), NondetermMarker) {
+					pass.Reportf(imp.Pos(), "import of %s: globally seeded randomness breaks run reproducibility; draw from a seeded internal/rng stream (// %s <reason> to suppress)", path, NondetermMarker)
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				for _, fn := range [...]string{"Now", "Since", "Until"} {
+					if pass.CalleeIn(n, "time", fn) && !pass.Justified(n.Pos(), NondetermMarker) {
+						pass.Reportf(n.Pos(), "call of time.%s: wall-clock values in a simulation path make results timing-dependent (// %s <reason> to suppress)", fn, NondetermMarker)
+					}
+				}
+			case *ast.RangeStmt:
+				if t := pass.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap && !pass.Justified(n.Pos(), NondetermMarker) {
+						pass.Reportf(n.Pos(), "range over map: iteration order is randomized by the runtime; iterate sorted keys or a slice (// %s <reason> if the body is order-independent)", NondetermMarker)
+					}
+				}
+			case *ast.GoStmt:
+				checkGoStmt(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoStmt flags assignments inside a go'd function literal whose
+// target is declared outside the literal: such writes are unordered
+// with respect to the spawning goroutine, so any simulation result
+// derived from them depends on the schedule.
+func checkGoStmt(pass *analysis.Pass, g *ast.GoStmt) {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Nested literals inherit the same capture analysis; keep
+			// walking — their captured writes are just as unordered.
+			return true
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id := rootIdent(lhs); id != nil && capturedFromOutside(pass, id, lit) &&
+					!pass.Justified(n.Pos(), NondetermMarker) {
+					pass.Reportf(n.Pos(), "write to captured variable %q inside go statement: unordered with the spawning goroutine; send the value over a channel or use the parallel worker pool (// %s <reason> to suppress)", id.Name, NondetermMarker)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id := rootIdent(n.X); id != nil && capturedFromOutside(pass, id, lit) &&
+				!pass.Justified(n.Pos(), NondetermMarker) {
+				pass.Reportf(n.Pos(), "write to captured variable %q inside go statement: unordered with the spawning goroutine; send the value over a channel or use the parallel worker pool (// %s <reason> to suppress)", id.Name, NondetermMarker)
+			}
+		}
+		return true
+	})
+}
+
+// rootIdent returns the base identifier of an assignable expression:
+// x, x.f, x[i] all root at x. Dereferences and parens are unwrapped.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// capturedFromOutside reports whether id resolves to a variable declared
+// outside the function literal (a closure capture rather than a local).
+func capturedFromOutside(pass *analysis.Pass, id *ast.Ident, lit *ast.FuncLit) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Parent() == types.Universe {
+		return false
+	}
+	// Package-level variables are always "outside"; locals are captures
+	// when their declaration does not sit inside the literal's extent.
+	return v.Pos() < lit.Pos() || v.Pos() > lit.End()
+}

@@ -1,0 +1,153 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+
+	"eventcap/internal/analysis"
+)
+
+// ProbrangeMarker suppresses a probrange finding when it appears, with a
+// reason, on the flagged line or the line above. The reason should name
+// the invariant that keeps the value in [0, 1] (for example
+// "product of probabilities" or "convex combination").
+const ProbrangeMarker = "prob-invariant"
+
+// probName matches identifiers that carry probabilities by this
+// codebase's naming convention: any name containing "prob" or
+// "probability" in any casing (prob, warmupProb, CaptureProb, Probs).
+var probName = regexp.MustCompile(`(?i)prob`)
+
+// Probrange flags raw arithmetic flowing into probability-named
+// variables, fields and results without either a clamp or a stated
+// range invariant. Probabilities out of [0, 1] don't crash — they
+// silently skew capture rates and invalidate every downstream figure —
+// so the rule is: an assignment to (or return of) a probability whose
+// right-hand side is a bare arithmetic expression must be wrapped in a
+// recognized clamp (numeric.Clamp01, math.Min/math.Max, the min/max
+// built-ins) or carry "// prob-invariant <why it stays in range>".
+//
+// Plain copies, function calls and literals are not flagged: the value
+// was either already a probability or is some constructor's job to
+// validate.
+var Probrange = &analysis.Analyzer{
+	Name: "probrange",
+	Doc: "flag unclamped arithmetic assigned or returned as a probability; " +
+		"clamp with numeric.Clamp01 or justify with // prob-invariant <reason>",
+	Run: runProbrange,
+}
+
+func runProbrange(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break // x, y = f() — a call result, never bare arithmetic
+					}
+					name := assignedName(lhs)
+					if name == "" || !probName.MatchString(name) {
+						continue
+					}
+					rhs := n.Rhs[i]
+					if !isUnclampedArithmetic(pass, rhs) {
+						continue
+					}
+					if pass.Justified(n.Pos(), ProbrangeMarker) {
+						continue
+					}
+					pass.Reportf(rhs.Pos(), "unclamped arithmetic assigned to probability %q: wrap in numeric.Clamp01 or state the range invariant with // %s <reason>", name, ProbrangeMarker)
+				}
+			case *ast.FuncDecl:
+				checkProbReturns(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkProbReturns flags bare-arithmetic returns from functions whose
+// name or named float results advertise a probability.
+func checkProbReturns(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil || fn.Type.Results == nil {
+		return
+	}
+	fnIsProb := probName.MatchString(fn.Name.Name)
+	// Positions of results that are probability-named floats.
+	probResult := make([]bool, 0, fn.Type.Results.NumFields())
+	for _, field := range fn.Type.Results.List {
+		isProb := false
+		for _, id := range field.Names {
+			if probName.MatchString(id.Name) {
+				isProb = true
+			}
+		}
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			probResult = append(probResult, isProb)
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a closure's returns are its own contract
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for i, res := range ret.Results {
+			probHere := fnIsProb && len(ret.Results) == 1
+			if i < len(probResult) && probResult[i] {
+				probHere = true
+			}
+			if !probHere || !analysis.IsFloat(pass.TypeOf(res)) {
+				continue
+			}
+			if !isUnclampedArithmetic(pass, res) {
+				continue
+			}
+			if pass.Justified(ret.Pos(), ProbrangeMarker) {
+				continue
+			}
+			pass.Reportf(res.Pos(), "unclamped arithmetic returned as a probability from %s: wrap in numeric.Clamp01 or state the range invariant with // %s <reason>", fn.Name.Name, ProbrangeMarker)
+		}
+		return true
+	})
+}
+
+// assignedName extracts the terminal name of an assignment target:
+// prob, s.captureProb, probs[i] all yield their probability-bearing
+// component.
+func assignedName(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return v.Sel.Name
+	case *ast.IndexExpr:
+		return assignedName(v.X)
+	}
+	return ""
+}
+
+// isUnclampedArithmetic reports whether e is a bare float arithmetic
+// expression (+ - * /). Calls are exempt wholesale — a call's range is
+// the callee's contract, which is how numeric.Clamp01, math.Min/Max and
+// the min/max built-ins act as recognized clamps.
+func isUnclampedArithmetic(pass *analysis.Pass, e ast.Expr) bool {
+	be, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+		return analysis.IsFloat(pass.TypeOf(e))
+	}
+	return false
+}

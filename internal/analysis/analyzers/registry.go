@@ -1,0 +1,94 @@
+// Package analyzers holds the repository's determinism and invariant
+// checks (DESIGN.md §10) plus the scoping policy that maps each check
+// onto the packages whose contract it enforces. cmd/eventcap-lint runs
+// the suite; `make lint` and the CI lint job gate on it.
+package analyzers
+
+import (
+	"eventcap/internal/analysis"
+)
+
+// All returns the complete analyzer suite in stable order. The set is
+// part of the lint gate's contract — a meta-test asserts it matches the
+// documented five — so additions belong here, in DESIGN.md §10, and in
+// the scope table below, together.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Nondeterm,
+		Floateq,
+		Probrange,
+		Seedflow,
+		Expvarname,
+	}
+}
+
+// simulationPathPackages are the packages bound by the determinism
+// contract: everything whose output feeds a simulation result. The
+// orchestration layers (parallel, obs, cliutil, cmd) legitimately read
+// wall clocks and spawn goroutines; they are excluded from nondeterm
+// and seedflow but still covered by the value-hygiene analyzers.
+var simulationPathPackages = []string{
+	"internal/sim",
+	"internal/core",
+	"internal/dist",
+	"internal/energy",
+	"internal/renewal",
+	"internal/experiments",
+}
+
+// For returns the analyzers that apply to importPath under the driver's
+// scoping policy:
+//
+//   - nondeterm, seedflow: simulation-path packages only;
+//   - floateq: everywhere except internal/numeric (the blessed home of
+//     tolerance helpers, whose job is precisely careful raw comparison)
+//     and the analysis packages themselves;
+//   - probrange, expvarname: everywhere except the analysis packages.
+//
+// The analysis packages are self-excluded not as a privilege but to
+// keep the lint gate's fixed point trivial: they manipulate other
+// packages' floats and names as data, not as quantities.
+func For(importPath string) []*analysis.Analyzer {
+	if contains(importPath, "internal/analysis") {
+		return nil
+	}
+	var out []*analysis.Analyzer
+	if onSimulationPath(importPath) {
+		out = append(out, Nondeterm)
+	}
+	if !contains(importPath, "internal/numeric") {
+		out = append(out, Floateq)
+	}
+	out = append(out, Probrange)
+	if onSimulationPath(importPath) {
+		out = append(out, Seedflow)
+	}
+	out = append(out, Expvarname)
+	return out
+}
+
+func onSimulationPath(importPath string) bool {
+	for _, p := range simulationPathPackages {
+		if contains(importPath, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// contains reports whether importPath contains sub on path-segment
+// boundaries (suffix or interior segment).
+func contains(importPath, sub string) bool {
+	if analysis.PathHasSuffix(importPath, sub) {
+		return true
+	}
+	// Interior: ".../sub/..." — check every suffix boundary.
+	for i := 0; i+len(sub) <= len(importPath); i++ {
+		if (i == 0 || importPath[i-1] == '/') &&
+			importPath[i:i+len(sub)] == sub &&
+			(i+len(sub) == len(importPath) || importPath[i+len(sub)] == '/') {
+			return true
+		}
+	}
+	return false
+}

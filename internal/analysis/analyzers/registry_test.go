@@ -1,0 +1,81 @@
+package analyzers
+
+import (
+	"testing"
+)
+
+// TestRegisteredSuite pins the analyzer set: the five documented in
+// DESIGN.md §10, in stable order, each named, documented, and runnable.
+// Growing the suite means updating this list, the DESIGN section and
+// the scope table together — that is the point of the test.
+func TestRegisteredSuite(t *testing.T) {
+	want := []string{"nondeterm", "floateq", "probrange", "seedflow", "expvarname"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registered %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+}
+
+// TestScopePolicy checks the driver's package scoping: determinism
+// analyzers bind only simulation-path packages, floateq skips the
+// blessed numeric helpers, and the analysis packages are self-excluded.
+func TestScopePolicy(t *testing.T) {
+	names := func(path string) map[string]bool {
+		out := map[string]bool{}
+		for _, a := range For(path) {
+			out[a.Name] = true
+		}
+		return out
+	}
+
+	sim := names("eventcap/internal/sim")
+	for _, want := range []string{"nondeterm", "floateq", "probrange", "seedflow", "expvarname"} {
+		if !sim[want] {
+			t.Errorf("internal/sim: missing %s", want)
+		}
+	}
+
+	par := names("eventcap/internal/parallel")
+	if par["nondeterm"] || par["seedflow"] {
+		t.Errorf("internal/parallel: determinism analyzers must not apply to the orchestration layer, got %v", par)
+	}
+	if !par["floateq"] || !par["probrange"] || !par["expvarname"] {
+		t.Errorf("internal/parallel: value-hygiene analyzers missing, got %v", par)
+	}
+
+	num := names("eventcap/internal/numeric")
+	if num["floateq"] {
+		t.Error("internal/numeric: floateq must not apply to the blessed tolerance helpers")
+	}
+	if !num["probrange"] {
+		t.Error("internal/numeric: probrange should still apply")
+	}
+
+	if got := For("eventcap/internal/analysis/analyzers"); len(got) != 0 {
+		t.Errorf("analysis packages must be self-excluded, got %d analyzers", len(got))
+	}
+
+	// Suffix matching must respect path-segment boundaries.
+	if cheat := names("evil/notinternal/sim"); cheat["nondeterm"] {
+		t.Error("scope matched a non-boundary path segment")
+	}
+	if cheat := names("eventcap/internal/simulator"); cheat["nondeterm"] {
+		t.Error("scope matched internal/simulator as internal/sim")
+	}
+	for _, sub := range []string{"eventcap/internal/sim/subpkg"} {
+		if !names(sub)["nondeterm"] {
+			t.Errorf("%s: subpackages of a simulation path must inherit nondeterm", sub)
+		}
+	}
+}

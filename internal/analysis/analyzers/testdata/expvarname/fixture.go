@@ -1,0 +1,20 @@
+// Package fixture exercises the expvarname analyzer: metric names must
+// be literals matching the eventcap schema.
+package fixture
+
+import "eventcap/internal/obs"
+
+func metrics(suffix string) {
+	_ = obs.NewCounter("sim.fixture.events")        // schema-conformant: quiet
+	_ = obs.NewGauge("pool.fixture_pending")        // underscores allowed: quiet
+	_ = obs.NewCounter("Sim.Events")                // want `violates the eventcap schema`
+	_ = obs.NewCounter("sim-events")                // want `violates the eventcap schema`
+	_ = obs.NewCounter("sim..double")               // want `violates the eventcap schema`
+	_ = obs.NewCounter("sim.9starts_with_digit")    // want `violates the eventcap schema`
+	_ = obs.NewFloatCounter("sim.fixture.frac_sum") // quiet
+	_ = obs.NewCounterVec("sim.fixture.bin", 3)     // quiet
+	_ = obs.NewDurationHist("pool.fixture.latency") // quiet
+	_ = obs.NewCounter("sim." + suffix)             // want `not a string literal`
+	// expvarname:ok fixture demonstrates a justified computed name
+	_ = obs.NewCounter("sim." + suffix)
+}

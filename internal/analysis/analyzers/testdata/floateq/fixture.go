@@ -1,0 +1,44 @@
+// Package fixture exercises the floateq analyzer: raw float equality
+// is flagged, exact-zero sentinels and justified bit-exact comparisons
+// are not.
+package fixture
+
+type reading struct{ level float64 }
+
+type celsius float64
+
+const saturated = 1.0
+
+func compare(a, b float64, r reading, c celsius) int {
+	hits := 0
+	if a == b { // want `== on floating-point`
+		hits++
+	}
+	if a != b { // want `!= on floating-point`
+		hits++
+	}
+	if a == 0 { // exact-zero sentinel: quiet
+		hits++
+	}
+	if 0.0 != b { // exact-zero on either side: quiet
+		hits++
+	}
+	if a == saturated { // want `== on floating-point`
+		hits++
+	}
+	// floateq:ok fixture demonstrates a justified bit-exact comparison
+	if r.level == b {
+		hits++
+	}
+	if c == 3.5 { // want `== on floating-point`
+		hits++
+	}
+	if hits == 3 { // integer comparison: quiet
+		return 0
+	}
+	var f32 float32
+	if f32 == 1.5 { // want `== on floating-point`
+		hits++
+	}
+	return hits
+}

@@ -1,0 +1,69 @@
+// Package fixture exercises the nondeterm analyzer: every construct
+// that smuggles schedule- or clock-dependence into a simulation path,
+// plus the justified forms that must stay quiet.
+package fixture
+
+import (
+	"math/rand" // want `import of math/rand`
+	"sort"
+	"time"
+)
+
+func clocks() time.Duration {
+	start := time.Now() // want `time.Now`
+	_ = time.Now        // a reference, not a call: quiet
+	return time.Since(start) // want `time.Since`
+}
+
+func justifiedClock() time.Time {
+	// nondeterm:ok fixture demonstrates a justified wall-clock read
+	return time.Now()
+}
+
+func mapOrder(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `range over map`
+		sum += v
+	}
+	keys := make([]string, 0, len(m))
+	// nondeterm:ok collect-then-sort: keys are sorted before any use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys { // slice range: quiet
+		sum += m[k]
+	}
+	return sum
+}
+
+func goroutines() int {
+	total := 0
+	done := make(chan int)
+	go func() {
+		total = rand.Int() // want `captured variable "total"`
+		done <- 1
+	}()
+	go func() {
+		local := 7 // a goroutine-local write: quiet
+		local++
+		done <- local
+	}()
+	go func() {
+		// nondeterm:ok joined before read: the channel receive below orders this write
+		total = 2
+		done <- 1
+	}()
+	<-done
+	<-done
+	<-done
+	return total
+}
+
+func capturedIncrement() {
+	n := 0
+	go func() {
+		n++ // want `captured variable "n"`
+	}()
+	_ = n
+}

@@ -1,0 +1,45 @@
+// Package fixture exercises the probrange analyzer: bare arithmetic
+// flowing into probability-named variables and results is flagged;
+// clamped, justified, copied and non-probability values are not.
+package fixture
+
+import "eventcap/internal/numeric"
+
+type policy struct {
+	captureProb float64
+	weight      float64
+}
+
+func assignments(e, cost, hazard float64, p *policy) {
+	prob := e / cost // want `unclamped arithmetic assigned to probability "prob"`
+	_ = prob
+	p.captureProb = prob * hazard // want `unclamped arithmetic assigned to probability "captureProb"`
+	p.captureProb = numeric.Clamp01(prob * hazard) // clamped: quiet
+	p.captureProb = min(1, prob*hazard)            // clamped via built-in: quiet
+	// prob-invariant product of values already in [0,1]
+	p.captureProb = prob * hazard
+	p.weight = e / cost // not probability-named: quiet
+	p.captureProb = prob // plain copy: quiet
+}
+
+func captureProb(alpha, c float64) float64 {
+	return alpha * c // want `unclamped arithmetic returned as a probability`
+}
+
+// missProb's named result marks it as a probability even though the
+// function name alone would too; both paths must agree.
+func missProb(captured, events float64) (prob float64) {
+	if events == 0 { // guard, not a probability comparison
+		return 0 // literal: quiet
+	}
+	return 1 - captured/events // want `unclamped arithmetic returned as a probability`
+}
+
+func blendProb(a, b, w float64) float64 {
+	// prob-invariant convex combination of probabilities stays in range
+	return w*a + (1-w)*b
+}
+
+func meanGap(total, count float64) float64 {
+	return total / count // not probability-named: quiet
+}

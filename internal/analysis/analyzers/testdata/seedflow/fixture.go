@@ -1,0 +1,29 @@
+// Package fixture exercises the seedflow analyzer: fresh RNG sources in
+// a simulation path are flagged unless annotated as the run root;
+// streams derived by Split are the sanctioned flow.
+package fixture
+
+import "eventcap/internal/rng"
+
+type config struct{ Seed uint64 }
+
+func run(cfg config) float64 {
+	root := rng.New(cfg.Seed, 0x5eed) // want `fresh rng.New source`
+	return root.Float64()
+}
+
+func runRoot(cfg config) float64 {
+	root := rng.New(cfg.Seed, 0x5eed) // seedflow:ok run-root: fixture's documented root construction
+	eventSrc := root.Split(1)         // derived stream: quiet
+	decisionSrc := root.Split(2)
+	return eventSrc.Float64() + decisionSrc.Float64()
+}
+
+func handRolled() *rng.Source {
+	return &rng.Source{} // want `composite literal`
+}
+
+func zeroValue() rng.Source {
+	var s rng.Source // var decl, not a literal: quiet (and invalid to use — New's contract)
+	return s
+}

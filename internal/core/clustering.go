@@ -527,6 +527,7 @@ func refineFractional(d dist.Interarrival, e float64, p Params, cp ClusteringPol
 					v.C1 = c
 					return v
 				},
+				// floateq:ok region-boundary saturation: C1 is set to the exact constant 1
 				ok: cur.N1 > 1 && cur.C1 == 1,
 			},
 			{ // extend hot region one slot later with probability c
@@ -536,6 +537,7 @@ func refineFractional(d dist.Interarrival, e float64, p Params, cp ClusteringPol
 					v.C2 = c
 					return v
 				},
+				// floateq:ok region-boundary saturation: C2 is set to the exact constant 1
 				ok: cur.N2+1 < cur.N3 && cur.C2 == 1,
 			},
 			{ // start recovery one slot earlier with probability c
@@ -545,6 +547,7 @@ func refineFractional(d dist.Interarrival, e float64, p Params, cp ClusteringPol
 					v.C3 = c
 					return v
 				},
+				// floateq:ok region-boundary saturation: C3 is set to the exact constant 1
 				ok: cur.N3-1 > cur.N2 && cur.C3 == 1,
 			},
 		}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzVectorJSONRoundTrip drives the policy wire format (serialize.go):
+// any vector that marshals must unmarshal back bit-identically — the
+// base station and the sensor node must agree on the policy exactly,
+// not to within rounding — and invalid probabilities must be rejected
+// on both paths.
+func FuzzVectorJSONRoundTrip(f *testing.F) {
+	f.Add([]byte{}, 1.0)
+	f.Add([]byte{0, 128, 255}, 0.5)
+	f.Add([]byte{7}, 0.0)
+	f.Add([]byte{255, 255, 255, 255}, 1.0)
+	f.Fuzz(func(t *testing.T, prefixBytes []byte, tail float64) {
+		if len(prefixBytes) > 1024 {
+			prefixBytes = prefixBytes[:1024]
+		}
+		prefix := make([]float64, len(prefixBytes))
+		for i, b := range prefixBytes {
+			prefix[i] = float64(b) / 255
+		}
+		v := Vector{Prefix: prefix, Tail: tail}
+
+		data, err := json.Marshal(v)
+		if v.Validate() != nil {
+			if err == nil {
+				t.Fatalf("marshal accepted invalid vector (tail=%g)", tail)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("marshal rejected valid vector: %v", err)
+		}
+		var back Vector
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal of own output failed: %v\n%s", err, data)
+		}
+		if len(back.Prefix) != len(v.Prefix) {
+			t.Fatalf("prefix length changed: %d -> %d", len(v.Prefix), len(back.Prefix))
+		}
+		for i := range v.Prefix {
+			if math.Float64bits(back.Prefix[i]) != math.Float64bits(v.Prefix[i]) {
+				t.Fatalf("prefix[%d] changed bits: %g -> %g", i, v.Prefix[i], back.Prefix[i])
+			}
+		}
+		if math.Float64bits(back.Tail) != math.Float64bits(v.Tail) {
+			t.Fatalf("tail changed bits: %g -> %g", v.Tail, back.Tail)
+		}
+	})
+}
+
+// FuzzClusteringPolicyRoundTrip does the same for the clustering
+// policy's compact wire form: valid policies survive bit-identically,
+// invalid region orderings and probabilities are rejected symmetrically
+// by both directions.
+func FuzzClusteringPolicyRoundTrip(f *testing.F) {
+	f.Add(1, 3, 7, 0.5, 1.0, 0.25)
+	f.Add(1, 1, 2, 0.0, 0.0, 0.0)
+	f.Add(0, 0, 0, 2.0, -1.0, math.NaN())
+	f.Fuzz(func(t *testing.T, n1, n2, n3 int, c1, c2, c3 float64) {
+		cp := ClusteringPolicy{N1: n1, N2: n2, N3: n3, C1: c1, C2: c2, C3: c3}
+		data, err := json.Marshal(cp)
+		if cp.Validate() != nil {
+			if err == nil {
+				t.Fatalf("marshal accepted invalid policy %+v", cp)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("marshal rejected valid policy %+v: %v", cp, err)
+		}
+		var back ClusteringPolicy
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal of own output failed: %v\n%s", err, data)
+		}
+		if back.N1 != cp.N1 || back.N2 != cp.N2 || back.N3 != cp.N3 {
+			t.Fatalf("regions changed: %+v -> %+v", cp, back)
+		}
+		for _, pair := range [][2]float64{{cp.C1, back.C1}, {cp.C2, back.C2}, {cp.C3, back.C3}} {
+			if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+				t.Fatalf("boundary probability changed bits: %g -> %g", pair[0], pair[1])
+			}
+		}
+	})
+}

@@ -106,6 +106,8 @@ func GreedyFI(d dist.Interarrival, e float64, p Params) (*FIResult, error) {
 	// Remark 1: order states by decreasing hazard. β_i ordering equals
 	// the knapsack density ordering α_i/ξ_i = β_i/(δ1 + δ2 β_i).
 	sort.SliceStable(slots, func(a, b int) bool {
+		// floateq:ok comparator tie-break: exact inequality routes equal
+		// hazards to the deterministic index order below.
 		if slots[a].hazard != slots[b].hazard {
 			return slots[a].hazard > slots[b].hazard
 		}
@@ -133,7 +135,7 @@ func GreedyFI(d dist.Interarrival, e float64, p Params) (*FIResult, error) {
 	// always-on suffix to the untabulated tail.
 	full := true
 	for _, c := range prefix {
-		if c != 1 {
+		if c != 1 { // floateq:ok water-filling writes the exact constant 1 when a slot saturates
 			full = false
 			break
 		}

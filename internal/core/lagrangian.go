@@ -113,6 +113,7 @@ func LagrangianFI(d dist.Interarrival, e float64, p Params, maxStates int) (*FIR
 		}
 		var ms []marginal
 		for i := 1; i <= horizon; i++ {
+			// floateq:ok saturation test: greedy writes the exact constants 0 and 1
 			if vLo.At(i) == 1 && v.At(i) == 0 {
 				surv := 1 - d.CDF(i-1)
 				ms = append(ms, marginal{idx: i, hazard: hazards[i-1], xi: p.Delta1*surv + p.Delta2*d.PMF(i)})

@@ -44,8 +44,12 @@ type maxHazardCell struct {
 // maxHazardDistribution computes the stationary distribution of
 // B = max_m β_m(age_m) with independent equilibrium ages.
 func maxHazardDistribution(dists []dist.Interarrival) ([]maxHazardCell, error) {
-	// Collect each PoI's distribution over hazard values.
-	perPoI := make([]map[float64]float64, len(dists))
+	// Collect each PoI's distribution over hazard values. The per-PoI
+	// histogram is accumulated in a map but immediately lowered to a
+	// slice sorted by hazard: cdfAt below sums float masses, and summing
+	// in map order would make the low-order bits of the CDF — and thus
+	// the emitted atoms — vary run to run.
+	perPoI := make([][]maxHazardCell, len(dists))
 	valueSet := make(map[float64]struct{})
 	for m, d := range dists {
 		tab, err := dist.Tabulate(d, 1e-9, 1<<16)
@@ -66,23 +70,33 @@ func maxHazardDistribution(dists []dist.Interarrival) ([]maxHazardCell, error) {
 			hist[h] += w
 			valueSet[h] = struct{}{}
 		}
-		perPoI[m] = hist
+		pairs := make([]maxHazardCell, 0, len(hist))
+		// nondeterm:ok collect-then-sort: keys are sorted before any use
+		for h, w := range hist {
+			pairs = append(pairs, maxHazardCell{hazard: h, prob: w})
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].hazard < pairs[b].hazard })
+		perPoI[m] = pairs
 	}
 	values := make([]float64, 0, len(valueSet))
+	// nondeterm:ok collect-then-sort: keys are sorted before any use
 	for v := range valueSet {
 		values = append(values, v)
 	}
 	sort.Float64s(values)
 
-	// P(B <= v) = Π_m P(β_m <= v); atoms by differencing.
+	// P(B <= v) = Π_m P(β_m <= v); atoms by differencing. Each PoI's
+	// mass accumulates in ascending-hazard order so the sum rounds
+	// identically on every run.
 	cdfAt := func(v float64) float64 {
 		prod := 1.0
-		for _, hist := range perPoI {
+		for _, pairs := range perPoI {
 			var mass float64
-			for h, w := range hist {
-				if h <= v {
-					mass += w
+			for _, cell := range pairs {
+				if cell.hazard > v {
+					break
 				}
+				mass += cell.prob
 			}
 			prod *= mass
 		}

@@ -47,6 +47,7 @@ func (v Vector) Validate() error {
 // removed.
 func (v Vector) trimmed() Vector {
 	n := len(v.Prefix)
+	// floateq:ok lossless compression: only bit-identical entries may fold into the tail
 	for n > 0 && v.Prefix[n-1] == v.Tail {
 		n--
 	}

@@ -200,6 +200,7 @@ func respendOnBoundary(d dist.Interarrival, e float64, p Params, w WindowPolicy)
 	}
 	knobs := []knob{
 		{ // widen the hot region one slot earlier
+			// floateq:ok region-boundary saturation: C1 is set to the exact constant 1
 			ok: w.Base.N1 > 1 && w.Base.C1 == 1,
 			make: func(c float64) WindowPolicy {
 				v := w

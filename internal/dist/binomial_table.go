@@ -32,18 +32,35 @@ func NewBinomialTable(p float64, maxN int) *BinomialTable {
 	}
 	q := 1 - p
 	ratio := p / q
+	logP, logQ := math.Log(p), math.Log(q)
 	t.cum = make([][]float64, maxN)
 	for n := 1; n <= maxN; n++ {
+		// PMF seeded at the mode via log-gamma, extended outward by the
+		// exact ratio recurrences f(k+1) = f(k)·(n-k)/(k+1)·p/q. Seeding
+		// at k = 0 with q^n looks simpler but underflows to an all-zero
+		// row once n·log(q) < -745 (for p = 0.857 that is n > 383),
+		// which silently turns every draw into n successes; the modal
+		// mass is at least 1/(n+1) and can never underflow.
+		pmf := make([]float64, n+1)
+		mode := int(math.Floor(float64(n+1) * p))
+		if mode > n {
+			mode = n
+		}
+		lgN, _ := math.Lgamma(float64(n + 1))
+		lgM, _ := math.Lgamma(float64(mode + 1))
+		lgNM, _ := math.Lgamma(float64(n - mode + 1))
+		pmf[mode] = math.Exp(lgN - lgM - lgNM + float64(mode)*logP + float64(n-mode)*logQ)
+		for k := mode; k < n; k++ {
+			pmf[k+1] = pmf[k] * float64(n-k) / float64(k+1) * ratio
+		}
+		for k := mode; k > 0; k-- {
+			pmf[k-1] = pmf[k] * float64(k) / (float64(n-k+1) * ratio)
+		}
 		row := make([]float64, n+1)
-		// PMF by the exact ratio recurrence f(k+1) = f(k)·(n-k)/(k+1)·p/q,
-		// accumulated in place.
-		f := math.Pow(q, float64(n))
-		acc := f
-		row[0] = acc
-		for k := 0; k < n; k++ {
-			f *= float64(n-k) / float64(k+1) * ratio
-			acc += f
-			row[k+1] = acc
+		var acc float64
+		for k := 0; k <= n; k++ {
+			acc += pmf[k]
+			row[k] = acc
 		}
 		row[n] = 1
 		t.cum[n-1] = row

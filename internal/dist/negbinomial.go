@@ -92,7 +92,7 @@ func (nb *NegBinomial) Mean() float64 { return nb.mean }
 func (nb *NegBinomial) Sample(src *rng.Source) int {
 	total := 0
 	for s := 0; s < nb.k; s++ {
-		if nb.p == 1 {
+		if nb.p == 1 { // floateq:ok exact boundary constant: a sure success needs no draw
 			total++
 			continue
 		}

@@ -60,7 +60,7 @@ func (g *Geometric) Mean() float64 { return 1 / g.p }
 
 // Sample draws by inversion.
 func (g *Geometric) Sample(src *rng.Source) int {
-	if g.p == 1 {
+	if g.p == 1 { // floateq:ok exact boundary constant: a sure success needs no draw
 		return 1
 	}
 	u := src.Float64()

@@ -102,6 +102,8 @@ func onRechargeGrid(v float64) bool {
 		return false
 	}
 	s := v * rechargeGrid
+	// floateq:ok exactness proof: scaling by a power of two is lossless,
+	// so integrality of s decides grid membership with no tolerance.
 	return s == math.Trunc(s)
 }
 

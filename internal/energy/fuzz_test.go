@@ -1,0 +1,62 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRechargeN pits the O(1) closed form against the sequential loop
+// it replaces (the kernel's fast-forward contract, DESIGN.md §8):
+// whenever RechargeN claims success it must leave the battery in the
+// bit-identical state the loop would have, and when it declines it must
+// leave the battery completely untouched. Inputs mix arbitrary floats
+// (which mostly exercise the decline path) with values snapped to the
+// 2^-20 exactness grid (which exercise the closed form).
+func FuzzRechargeN(f *testing.F) {
+	f.Add(uint32(1<<20), uint32(10<<20), uint32(1<<18), uint16(100), false)
+	f.Add(uint32(0), uint32(1<<21), uint32(3), uint16(4096), false)
+	f.Add(uint32(5<<20), uint32(6<<20), uint32(1<<20), uint16(7), false)
+	f.Add(uint32(123456), uint32(789012), uint32(345), uint16(977), true)
+	f.Fuzz(func(t *testing.T, initRaw, capRaw, amountRaw uint32, n uint16, offGrid bool) {
+		// Map raw uint32s onto the dyadic grid (multiples of 2^-20); the
+		// offGrid variant perturbs the amount away from it.
+		const grid = 1 << 20
+		capacity := float64(capRaw%(64*grid)+1) / grid
+		initial := float64(initRaw%(64*grid)) / grid
+		amount := float64(amountRaw%(4*grid)) / grid
+		if offGrid {
+			amount += 1e-7 // not representable as k/2^20
+		}
+
+		fast, err := NewBattery(capacity, initial)
+		if err != nil {
+			t.Skip()
+		}
+		slow, err := NewBattery(capacity, initial)
+		if err != nil {
+			t.Skip()
+		}
+		before := *fast
+
+		ok := fast.RechargeN(amount, int64(n))
+		if !ok {
+			if *fast != before {
+				t.Fatalf("RechargeN declined but mutated the battery: %+v -> %+v", before, *fast)
+			}
+			return
+		}
+		for i := 0; i < int(n); i++ {
+			slow.Recharge(amount)
+		}
+		if math.Float64bits(fast.Level()) != math.Float64bits(slow.Level()) {
+			t.Fatalf("level diverged: closed form %v, loop %v (cap=%v init=%v amount=%v n=%d)",
+				fast.Level(), slow.Level(), capacity, initial, amount, n)
+		}
+		if math.Float64bits(fast.Received()) != math.Float64bits(slow.Received()) {
+			t.Fatalf("received diverged: closed form %v, loop %v", fast.Received(), slow.Received())
+		}
+		if math.Float64bits(fast.OverflowLost()) != math.Float64bits(slow.OverflowLost()) {
+			t.Fatalf("overflow diverged: closed form %v, loop %v", fast.OverflowLost(), slow.OverflowLost())
+		}
+	})
+}

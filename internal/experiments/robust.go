@@ -98,10 +98,13 @@ func robustClustering(
 }
 
 func vectorsEqual(a, b core.Vector) bool {
+	// floateq:ok identity check: detects whether a perturbation moved the
+	// policy at all, so bit-exact comparison is the point.
 	if a.Tail != b.Tail || len(a.Prefix) != len(b.Prefix) {
 		return false
 	}
 	for i := range a.Prefix {
+		// floateq:ok identity check, same contract as above
 		if a.Prefix[i] != b.Prefix[i] {
 			return false
 		}

@@ -1,0 +1,18 @@
+package numeric
+
+// Clamp01 clips x into [0, 1]. It is the blessed way to coerce a
+// computed probability back into range (the probrange analyzer of
+// DESIGN.md §10 recognizes any call as a clamp): use it when float
+// error can legitimately push a probability a few ulps out of [0, 1],
+// and a // prob-invariant annotation when the math proves the range and
+// clamping would only obscure that. NaN maps to 0 — a probability that
+// is not a number captures nothing.
+func Clamp01(x float64) float64 {
+	if !(x > 0) { // also catches NaN
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

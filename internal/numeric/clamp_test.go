@@ -1,0 +1,35 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClamp01(t *testing.T) {
+	cases := []struct {
+		in, want float64
+	}{
+		{-1, 0},
+		{0, 0},
+		{math.Copysign(0, -1), 0},
+		{0.25, 0.25},
+		{1, 1},
+		{1 + 1e-15, 1},
+		{2, 1},
+		{math.Inf(1), 1},
+		{math.Inf(-1), 0},
+		{math.NaN(), 0},
+	}
+	for _, c := range cases {
+		if got := Clamp01(c.in); got != c.want {
+			t.Errorf("Clamp01(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+	// In-range values must pass through bit-identically: Clamp01 on an
+	// already-valid probability cannot perturb a simulation result.
+	for _, v := range []float64{1e-300, 0.1, 0.5, 1 - 1e-16} {
+		if got := Clamp01(v); math.Float64bits(got) != math.Float64bits(v) {
+			t.Errorf("Clamp01(%g) altered bits: got %g", v, got)
+		}
+	}
+}

@@ -54,7 +54,7 @@ func init() {
 		snap := Snapshot()
 		out := make(map[string]any, len(snap))
 		for k, v := range snap {
-			if v == float64(int64(v)) {
+			if v == float64(int64(v)) { // floateq:ok exact integrality test for display only
 				out[k] = int64(v)
 			} else {
 				out[k] = v

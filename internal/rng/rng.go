@@ -162,7 +162,7 @@ func (s *Source) Geometric(p float64) int64 {
 	if p <= 0 || p > 1 || math.IsNaN(p) {
 		panic("rng: Geometric needs p in (0, 1]")
 	}
-	if p == 1 {
+	if p == 1 { // floateq:ok exact boundary constant short-circuits the log path
 		return 0
 	}
 	// log1p(-Float64()) is in (-inf, 0]; the ratio floors to g >= 0.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"eventcap/internal/core"
+	"eventcap/internal/numeric"
 )
 
 // AdaptiveGreedyFI is the unknown-distribution extension of the paper's
@@ -69,10 +70,7 @@ func (a *AdaptiveGreedyFI) Reset() {
 	// memoryless policy could afford if events were "typical" — we do not
 	// know μ yet, so use the cheapest safe bound c = e/(δ1+δ2): even if
 	// every activation captured an event this underspends.
-	a.warmupProb = a.E / a.Params.ActivationCost()
-	if a.warmupProb > 1 {
-		a.warmupProb = 1
-	}
+	a.warmupProb = numeric.Clamp01(a.E / a.Params.ActivationCost())
 }
 
 // ActivationProb implements Policy.

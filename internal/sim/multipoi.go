@@ -115,7 +115,7 @@ func RunMultiPoI(cfg MultiPoIConfig) (*MultiPoIResult, error) {
 		return nil, fmt.Errorf("sim: invalid battery capacity %g or duration %d", cfg.BatteryCap, cfg.Slots)
 	}
 
-	root := rng.New(cfg.Seed, 0x90110)
+	root := rng.New(cfg.Seed, 0x90110) // seedflow:ok run-root: the multi-PoI engine's root stream, derived from Config.Seed
 	decisionSrc := root.Split(1)
 	rechargeSrc := root.Split(2)
 	battery, err := energy.NewBattery(cfg.BatteryCap, cfg.BatteryCap/2)

@@ -327,7 +327,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.independentSensors() {
 		return runIndependent(cfg)
 	}
-	root := rng.New(cfg.Seed, 0x5eed)
+	root := rng.New(cfg.Seed, 0x5eed) // seedflow:ok run-root: the reference engine's root stream, derived from Config.Seed
 	eventSrc := root.Split(1)
 	decisionSrc := root.Split(2)
 
@@ -379,6 +379,7 @@ func Run(cfg Config) (*Result, error) {
 	for s := range failSlot {
 		failSlot[s] = math.MaxInt64
 	}
+	// nondeterm:ok order-independent lowering: each key writes its own slot
 	for s, slot := range cfg.FailAt {
 		if s >= 0 && s < cfg.N {
 			failSlot[s] = slot
@@ -587,7 +588,7 @@ func Run(cfg Config) (*Result, error) {
 // shared decision stream: this configuration's outputs are reproducible
 // against themselves, not against a hypothetical shared-stream run.
 func runIndependent(cfg Config) (*Result, error) {
-	root := rng.New(cfg.Seed, 0x5eed)
+	root := rng.New(cfg.Seed, 0x5eed) // seedflow:ok run-root: mirrors Run's stream layout exactly
 	eventSrc := root.Split(1)
 	_ = root.Split(2) // keep recharge streams aligned with the sequential layout
 	rechargeSrcs := make([]*rng.Source, cfg.N)
