@@ -5,11 +5,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build test lint fuzz-smoke race bench-smoke bench bench-kernel-json bench-obs-json clean
+.PHONY: all check vet build test lint fuzz-smoke race bench-smoke bench bench-kernel-json bench-obs-json bench-trace-json benchtraj trace-verify clean
 
 all: check
 
-check: vet build test lint race bench-smoke
+check: vet build test lint race bench-smoke trace-verify benchtraj
 
 vet:
 	$(GO) vet ./...
@@ -53,7 +53,19 @@ race:
 # One iteration of each throughput benchmark: verifies the bench code
 # still compiles and runs, without paying for a real measurement.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'SlotsPerOp|ObsOverhead' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'SlotsPerOp|ObsOverhead|TraceOverhead' -benchtime 1x .
+
+# End-to-end trace verification: run a traced kernel-heavy experiment
+# and replay the trace against its manifest with cmd/tracetool. The
+# trace-artifact/ directory doubles as the CI artifact upload.
+trace-verify:
+	$(GO) run ./cmd/experiments -run fig3a -quick -slots 20000 -out trace-artifact -trace
+	$(GO) run ./cmd/tracetool replay trace-artifact/fig3a.manifest.json
+
+# Fold the current BENCH_*.json records into BENCH_trajectory.json
+# (append-only history; a no-op when no record changed).
+benchtraj:
+	$(GO) run ./cmd/benchtraj
 
 # Full measurement of the kernel and reference engines.
 bench:
@@ -66,9 +78,16 @@ bench-kernel-json:
 
 # Measure the cost of Config.Metrics on both engines, assert the ≤2%
 # budget of DESIGN.md §9, and regenerate BENCH_obs.json. Needs a quiet
-# machine — the assertion compares best-of-N interleaved minimums.
+# machine — the assertion compares the median of ≥5 interleaved rounds
+# against the budget plus the measured noise floor.
 bench-obs-json:
 	BENCH_OBS_JSON=BENCH_obs.json $(GO) test -run TestObsOverheadWithinBudget -count=1 -timeout 900s -v .
+
+# Measure the tracing subsystem's cost (flight recorder budgeted ≤2%,
+# full trace informational) and regenerate BENCH_trace.json. Same
+# median-of-rounds methodology and quiet-machine caveat as above.
+bench-trace-json:
+	BENCH_TRACE_JSON=BENCH_trace.json $(GO) test -run TestTraceOverheadWithinBudget -count=1 -timeout 900s -v .
 
 clean:
 	$(GO) clean ./...

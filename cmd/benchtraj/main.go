@@ -1,0 +1,168 @@
+// Command benchtraj folds the repo's point-in-time benchmark records
+// (BENCH_*.json) into a trajectory file, so performance history
+// accumulates in-repo instead of each regeneration overwriting the
+// last.
+//
+// Usage:
+//
+//	benchtraj [-dir .] [-out BENCH_trajectory.json]
+//
+// Every BENCH_*.json in -dir (except the output file itself) is read,
+// keyed by its "benchmark" field (file name when absent), and appended
+// to that benchmark's series — but only when the record differs from
+// the series' current tail, so re-running `make check` without
+// regenerating benchmarks is a no-op. Records are stored canonicalized
+// (compact, sorted keys), making the equality check and the file bytes
+// deterministic.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// TrajectorySchema identifies the trajectory format.
+const TrajectorySchema = "eventcap/bench-trajectory/v1"
+
+// Point is one appended benchmark record and the file it came from.
+type Point struct {
+	Source string          `json:"source"`
+	Record json.RawMessage `json:"record"`
+}
+
+// Trajectory is the accumulated history: one append-only series per
+// benchmark name.
+type Trajectory struct {
+	Schema string             `json:"schema"`
+	Series map[string][]Point `json:"series"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtraj:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchtraj", flag.ContinueOnError)
+	dir := fs.String("dir", ".", "directory holding BENCH_*.json records")
+	outFile := fs.String("out", "BENCH_trajectory.json", "trajectory file to update (relative to -dir)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	outPath := *outFile
+	if !filepath.IsAbs(outPath) {
+		outPath = filepath.Join(*dir, outPath)
+	}
+
+	traj, err := loadTrajectory(outPath)
+	if err != nil {
+		return err
+	}
+
+	files, err := filepath.Glob(filepath.Join(*dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(files)
+
+	appended := 0
+	for _, f := range files {
+		if filepath.Base(f) == filepath.Base(outPath) {
+			continue
+		}
+		key, rec, err := loadRecord(f)
+		if err != nil {
+			return err
+		}
+		series := traj.Series[key]
+		if n := len(series); n > 0 && bytesEqualCanonical(series[n-1].Record, rec) {
+			fmt.Fprintf(out, "%s: unchanged (%d point(s))\n", key, n)
+			continue
+		}
+		traj.Series[key] = append(series, Point{Source: filepath.Base(f), Record: rec})
+		appended++
+		fmt.Fprintf(out, "%s: appended point %d (from %s)\n", key, len(traj.Series[key]), filepath.Base(f))
+	}
+
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing trajectory: %w", err)
+	}
+	fmt.Fprintf(out, "wrote %s: %d series, %d new point(s)\n", outPath, len(traj.Series), appended)
+	return nil
+}
+
+// loadTrajectory reads an existing trajectory file, or returns an empty
+// one when the file does not exist yet.
+func loadTrajectory(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Trajectory{Schema: TrajectorySchema, Series: map[string][]Point{}}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("reading trajectory: %w", err)
+	}
+	var traj Trajectory
+	if err := json.Unmarshal(data, &traj); err != nil {
+		return nil, fmt.Errorf("parsing trajectory %s: %w", path, err)
+	}
+	if traj.Schema != TrajectorySchema {
+		return nil, fmt.Errorf("trajectory %s has schema %q, want %q", path, traj.Schema, TrajectorySchema)
+	}
+	if traj.Series == nil {
+		traj.Series = map[string][]Point{}
+	}
+	return &traj, nil
+}
+
+// loadRecord reads one BENCH_*.json record, returning its series key
+// (the "benchmark" field, file name as fallback) and the canonicalized
+// record bytes.
+func loadRecord(path string) (string, json.RawMessage, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, fmt.Errorf("reading record: %w", err)
+	}
+	var decoded any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		return "", nil, fmt.Errorf("parsing record %s: %w", path, err)
+	}
+	key := filepath.Base(path)
+	if obj, ok := decoded.(map[string]any); ok {
+		if name, ok := obj["benchmark"].(string); ok && name != "" {
+			key = name
+		}
+	}
+	// encoding/json marshals map keys sorted, so this is canonical.
+	canon, err := json.Marshal(decoded)
+	if err != nil {
+		return "", nil, err
+	}
+	return key, canon, nil
+}
+
+// bytesEqualCanonical compares two records after canonicalization (the
+// stored tail is already canonical, but older hand-edited trajectories
+// may not be).
+func bytesEqualCanonical(a, b json.RawMessage) bool {
+	var av, bv any
+	if json.Unmarshal(a, &av) != nil || json.Unmarshal(b, &bv) != nil {
+		return string(a) == string(b)
+	}
+	ac, errA := json.Marshal(av)
+	bc, errB := json.Marshal(bv)
+	if errA != nil || errB != nil {
+		return string(a) == string(b)
+	}
+	return string(ac) == string(bc)
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJSON(t *testing.T, path string, v any) {
+	t.Helper()
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readTrajectory(t *testing.T, path string) *Trajectory {
+	t.Helper()
+	traj, err := loadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traj
+}
+
+func TestAppendsNewRecordsKeyedByBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	writeJSON(t, filepath.Join(dir, "BENCH_alpha.json"), map[string]any{"benchmark": "BenchmarkAlpha", "ns_per_op": 100})
+	writeJSON(t, filepath.Join(dir, "BENCH_beta.json"), map[string]any{"benchmark": "BenchmarkBeta", "ns_per_op": 7})
+	var sb strings.Builder
+	if err := run([]string{"-dir", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	traj := readTrajectory(t, filepath.Join(dir, "BENCH_trajectory.json"))
+	if traj.Schema != TrajectorySchema || len(traj.Series) != 2 {
+		t.Fatalf("trajectory: schema=%q series=%v", traj.Schema, traj.Series)
+	}
+	pts := traj.Series["BenchmarkAlpha"]
+	if len(pts) != 1 || pts[0].Source != "BENCH_alpha.json" {
+		t.Fatalf("BenchmarkAlpha series: %+v", pts)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(pts[0].Record, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["ns_per_op"] != float64(100) {
+		t.Errorf("stored record: %v", rec)
+	}
+}
+
+func TestUnchangedRecordIsNotReappended(t *testing.T) {
+	dir := t.TempDir()
+	writeJSON(t, filepath.Join(dir, "BENCH_alpha.json"), map[string]any{"benchmark": "BenchmarkAlpha", "ns_per_op": 100})
+	var sb strings.Builder
+	for i := 0; i < 3; i++ {
+		if err := run([]string{"-dir", dir}, &sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	traj := readTrajectory(t, filepath.Join(dir, "BENCH_trajectory.json"))
+	if pts := traj.Series["BenchmarkAlpha"]; len(pts) != 1 {
+		t.Fatalf("re-running without new measurements grew the series to %d points", len(pts))
+	}
+	if !strings.Contains(sb.String(), "unchanged") {
+		t.Errorf("missing unchanged notice:\n%s", sb.String())
+	}
+}
+
+func TestChangedRecordAppendsPoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_alpha.json")
+	writeJSON(t, path, map[string]any{"benchmark": "BenchmarkAlpha", "ns_per_op": 100})
+	var sb strings.Builder
+	if err := run([]string{"-dir", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	writeJSON(t, path, map[string]any{"benchmark": "BenchmarkAlpha", "ns_per_op": 90})
+	if err := run([]string{"-dir", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	traj := readTrajectory(t, filepath.Join(dir, "BENCH_trajectory.json"))
+	pts := traj.Series["BenchmarkAlpha"]
+	if len(pts) != 2 {
+		t.Fatalf("series has %d points, want 2", len(pts))
+	}
+}
+
+func TestOutputFileIsNotIngested(t *testing.T) {
+	dir := t.TempDir()
+	writeJSON(t, filepath.Join(dir, "BENCH_alpha.json"), map[string]any{"benchmark": "BenchmarkAlpha"})
+	var sb strings.Builder
+	// Run twice: the second run sees BENCH_trajectory.json on disk and
+	// must skip it.
+	if err := run([]string{"-dir", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dir", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	traj := readTrajectory(t, filepath.Join(dir, "BENCH_trajectory.json"))
+	if len(traj.Series) != 1 {
+		t.Fatalf("trajectory ingested itself: %v", traj.Series)
+	}
+}
+
+func TestFallsBackToFileNameKey(t *testing.T) {
+	dir := t.TempDir()
+	writeJSON(t, filepath.Join(dir, "BENCH_raw.json"), map[string]any{"ns_per_op": 5})
+	var sb strings.Builder
+	if err := run([]string{"-dir", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	traj := readTrajectory(t, filepath.Join(dir, "BENCH_trajectory.json"))
+	if _, ok := traj.Series["BENCH_raw.json"]; !ok {
+		t.Fatalf("missing file-name-keyed series: %v", traj.Series)
+	}
+}
+
+func TestRejectsCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_bad.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-dir", dir}, &sb); err == nil {
+		t.Fatal("corrupt record accepted")
+	}
+}
+
+func TestRepoRecordsIngest(t *testing.T) {
+	// The real BENCH_*.json records at the repo root must ingest
+	// cleanly (this is what `make check` runs).
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_kernel.json", "BENCH_obs.json", "BENCH_parallel.json"} {
+		data, err := os.ReadFile(filepath.Join("..", "..", name))
+		if err != nil {
+			t.Skipf("repo record %s not present: %v", name, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := run([]string{"-dir", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	traj := readTrajectory(t, filepath.Join(dir, "BENCH_trajectory.json"))
+	if len(traj.Series) != 3 {
+		t.Fatalf("expected 3 series from repo records, got %v", traj.Series)
+	}
+}

@@ -14,6 +14,12 @@
 // version, wall time, and the run-level metrics behind the figure.
 // -progress renders a live jobs-done/ETA line to stderr; -metrics-addr
 // serves /debug/vars and /debug/pprof while the sweep runs.
+//
+// -trace additionally writes a slot-level binary trace (<id>.evtrace,
+// hash-recorded in the manifest; verify with `tracetool replay`), and
+// -flight-recorder N arms a crash-recorder ring of the last N records
+// per sensor, dumped on invariant violations and at /debug/trace.
+// Neither changes any output byte.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"eventcap/internal/obs"
 	"eventcap/internal/parallel"
 	"eventcap/internal/sim"
+	"eventcap/internal/trace"
 )
 
 func main() {
@@ -54,6 +61,8 @@ func run(args []string, out io.Writer) error {
 		memProf     = fs.String("memprofile", "", "write a heap profile to this file (a bare filename lands in -out)")
 		progress    = fs.Duration("progress", 0, "print a live progress line to stderr at this interval (0 disables)")
 		metricsAddr = fs.String("metrics-addr", "", "serve /debug/vars and /debug/pprof on this address while running (e.g. localhost:6060)")
+		traceFlag   = fs.Bool("trace", false, "write a slot-level trace (<id>.evtrace) and record it in the manifest; requires -out")
+		flightSize  = fs.Int("flight-recorder", 0, "arm a flight recorder keeping the last N slot records per sensor (0 disables); dumps appear at /debug/trace with -metrics-addr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +70,9 @@ func run(args []string, out io.Writer) error {
 	engine, err := sim.ParseEngine(*kernel)
 	if err != nil {
 		return err
+	}
+	if *traceFlag && *outDir == "" {
+		return fmt.Errorf("-trace requires -out (traces are written next to the CSVs)")
 	}
 
 	if *list {
@@ -107,6 +119,14 @@ func run(args []string, out io.Writer) error {
 		}
 	}()
 
+	var flight *trace.FlightRecorder
+	if *flightSize > 0 {
+		flight = trace.NewFlightRecorder(*flightSize)
+		// Register before ServeMetrics builds its mux so /debug/trace is
+		// live for the whole run.
+		obs.HandleDebug("/debug/trace", flight.Handler())
+	}
+
 	if *metricsAddr != "" {
 		bound, stopServe, err := obs.ServeMetrics(*metricsAddr)
 		if err != nil {
@@ -144,11 +164,55 @@ func run(args []string, out io.Writer) error {
 	for _, exp := range selected {
 		before := obs.Snapshot()
 		start := time.Now()
+		// Attach the tracer for this experiment: a fresh trace file per
+		// experiment (so each manifest hashes exactly its own runs), the
+		// shared flight recorder, or both.
+		var (
+			tw *trace.Writer
+			tf *os.File
+		)
+		if *traceFlag {
+			tracePath := filepath.Join(*outDir, exp.ID+".evtrace")
+			tf, err = os.Create(tracePath)
+			if err != nil {
+				return fmt.Errorf("creating trace file: %w", err)
+			}
+			tw = trace.NewWriter(tf)
+		}
+		if tw != nil || flight != nil {
+			opts.Tracer = trace.New(tw, flight)
+		}
 		table, err := exp.Run(opts)
 		if err != nil {
+			if tf != nil {
+				tf.Close()
+			}
 			return fmt.Errorf("running %s: %w", exp.ID, err)
 		}
 		elapsed := time.Since(start)
+		var traceInfo *obs.TraceInfo
+		if tw != nil {
+			if err := tw.Close(); err != nil {
+				tf.Close()
+				return fmt.Errorf("%s trace: %w", exp.ID, err)
+			}
+			if err := tf.Close(); err != nil {
+				return fmt.Errorf("%s trace: %w", exp.ID, err)
+			}
+			mode := "full"
+			if flight != nil {
+				mode = "full+flight"
+			}
+			c := tw.Counts()
+			traceInfo = &obs.TraceInfo{
+				File:    exp.ID + ".evtrace",
+				SHA256:  tw.SHA256(),
+				Mode:    mode,
+				Runs:    c.Runs,
+				Records: c.Records,
+				Spans:   c.Spans,
+			}
+		}
 		rounded := elapsed.Round(time.Millisecond)
 		// The "timing:" prefix marks the one note allowed to vary between
 		// runs; CSV output carries no notes, so it stays byte-identical
@@ -173,6 +237,7 @@ func run(args []string, out io.Writer) error {
 				outDir:  *outDir,
 				cpuProf: cpuPath,
 				memProf: memPath,
+				trace:   traceInfo,
 			})
 			manPath := filepath.Join(*outDir, exp.ID+".manifest.json")
 			if err := man.Write(manPath); err != nil {
@@ -198,6 +263,7 @@ type manifestParams struct {
 	outDir  string
 	cpuProf string
 	memProf string
+	trace   *obs.TraceInfo
 }
 
 // manifestFor assembles the JSON sidecar for one experiment's CSV. The
@@ -234,6 +300,7 @@ func manifestFor(exp experiments.Experiment, csv []byte, diff map[string]float64
 		BinaryVersion: obs.BinaryVersion(),
 		Metrics:       obs.FilterPrefix(diff, "sim."),
 		Process:       obs.FilterPrefix(diff, "cache.", "pool."),
+		Trace:         p.trace,
 	}
 	addProfile := func(kind, path string) {
 		if path == "" {

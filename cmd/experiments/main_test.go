@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"eventcap/internal/obs"
+	"eventcap/internal/trace"
 )
 
 func TestListPrintsAllExperiments(t *testing.T) {
@@ -139,5 +140,79 @@ func TestRunRejectsUnknownID(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-run", "nope"}, &sb); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestTraceFlagKeepsCSVByteIdentical: slot-level tracing (full trace
+// plus flight recorder) is RNG-neutral end to end — the CSV bytes must
+// not change.
+func TestTraceFlagKeepsCSVByteIdentical(t *testing.T) {
+	csvFor := func(extra ...string) []byte {
+		t.Helper()
+		dir := t.TempDir()
+		var sb strings.Builder
+		args := append([]string{"-run", "fig3a", "-quick", "-slots", "20000", "-seed", "7", "-out", dir}, extra...)
+		if err := run(args, &sb); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "fig3a.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	base := csvFor()
+	if got := csvFor("-trace", "-flight-recorder", "64"); !bytes.Equal(got, base) {
+		t.Errorf("-trace changed the CSV:\n%s\nvs\n%s", got, base)
+	}
+}
+
+// TestTraceManifestVerifies: the trace block in the manifest must point
+// at a trace whose hash matches and whose replay reproduces the
+// manifest's metrics exactly (the artifact cmd/tracetool replay gates
+// on in CI).
+func TestTraceManifestVerifies(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-run", "fig3a", "-quick", "-slots", "20000", "-seed", "7", "-out", dir, "-trace"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	man, err := obs.ReadManifest(filepath.Join(dir, "fig3a.manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Schema != obs.ManifestSchema {
+		t.Fatalf("manifest schema %q", man.Schema)
+	}
+	if man.Trace == nil || man.Trace.File != "fig3a.evtrace" || man.Trace.Mode != "full" {
+		t.Fatalf("manifest trace block: %+v", man.Trace)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, man.Trace.File))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.SHA256Hex(data); got != man.Trace.SHA256 {
+		t.Fatalf("trace hash %s != manifest %s", got, man.Trace.SHA256)
+	}
+	sum, err := trace.Replay(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := man.Metrics
+	if float64(sum.Events) != m["sim.events"] || float64(sum.Captures) != m["sim.captures"] ||
+		float64(sum.MissAsleep) != m["sim.miss.asleep"] || float64(sum.MissNoEnergy) != m["sim.miss.noenergy"] ||
+		float64(sum.Wasted) != m["sim.wasted_activations"] {
+		t.Errorf("replay %+v disagrees with manifest metrics %v", sum, m)
+	}
+	if sum.Runs != man.Trace.Runs || float64(sum.Runs) != m["sim.runs.kernel"]+m["sim.runs.reference"] {
+		t.Errorf("replay runs %d, manifest %d (engines %v+%v)",
+			sum.Runs, man.Trace.Runs, m["sim.runs.kernel"], m["sim.runs.reference"])
+	}
+}
+
+func TestTraceRequiresOut(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "fig3a", "-quick", "-trace"}, &sb); err == nil {
+		t.Fatal("-trace without -out accepted")
 	}
 }

@@ -8,48 +8,65 @@
 //	simulate -dist pareto:2,10 -recharge bernoulli:0.5,2 -policy clustering -info partial
 //	simulate -dist weibull:40,3 -recharge bernoulli:0.1,1 -policy clustering -info partial -n 5 -mode roundrobin
 //	simulate -dist markov:0.3,0.2 -recharge constant:1 -policy ebcw -info partial
+//	simulate -dist weibull:40,3 -policy clustering -trace run.evtrace
+//	simulate -dist weibull:40,3 -policy greedy -flight-recorder 256 -flight-dump dumps.json
+//
+// -trace writes a slot-level trace (internal/trace format) plus a
+// <file>.manifest.json sidecar that cmd/tracetool's replay subcommand
+// verifies. -flight-recorder keeps the last N slot records per sensor
+// in memory and dumps them on invariant violations, sensor faults, and
+// the first energy-denied miss; -flight-dump writes the collected dumps
+// as JSON, and -metrics-addr serves them live at /debug/trace.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"time"
 
 	"eventcap/internal/cliutil"
 	"eventcap/internal/core"
 	"eventcap/internal/dist"
 	"eventcap/internal/obs"
 	"eventcap/internal/sim"
+	"eventcap/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	var (
-		distSpec = fs.String("dist", "weibull:40,3", "inter-arrival distribution (name:params)")
-		rechSpec = fs.String("recharge", "bernoulli:0.5,1", "recharge process (name:params)")
-		policy   = fs.String("policy", "greedy", "policy: greedy | clustering | refined | aggressive | periodic | ebcw")
-		infoStr  = fs.String("info", "full", "information model: full | partial")
-		n        = fs.Int("n", 1, "number of sensors")
-		mode     = fs.String("mode", "roundrobin", "coordination for n>1: roundrobin | blocks | all")
-		capK     = fs.Float64("k", 1000, "battery capacity K")
-		slots    = fs.Int64("T", 1_000_000, "simulation length in slots")
-		seed     = fs.Uint64("seed", 1, "random seed")
-		delta1   = fs.Float64("delta1", 1, "sensing energy per active slot")
-		delta2   = fs.Float64("delta2", 6, "extra energy per capture")
-		theta1   = fs.Int("theta1", 3, "theta1 for the periodic policy")
-		workers  = fs.Int("workers", 0, "worker pool size for the independent-sensor fast path (0 = one per CPU)")
-		kernel   = fs.String("kernel", "auto", "simulation engine: auto (compiled kernel when eligible) | on (force kernel) | off (reference engine)")
-		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
-		metrics  = fs.Bool("metrics", false, "collect and print run metrics (miss decomposition, battery occupancy; never changes results)")
-		mAddr    = fs.String("metrics-addr", "", "serve /debug/vars and /debug/pprof on this address while running (e.g. localhost:6060)")
+		distSpec   = fs.String("dist", "weibull:40,3", "inter-arrival distribution (name:params)")
+		rechSpec   = fs.String("recharge", "bernoulli:0.5,1", "recharge process (name:params)")
+		policy     = fs.String("policy", "greedy", "policy: greedy | clustering | refined | aggressive | periodic | ebcw")
+		infoStr    = fs.String("info", "full", "information model: full | partial")
+		n          = fs.Int("n", 1, "number of sensors")
+		mode       = fs.String("mode", "roundrobin", "coordination for n>1: roundrobin | blocks | all")
+		capK       = fs.Float64("k", 1000, "battery capacity K")
+		slots      = fs.Int64("T", 1_000_000, "simulation length in slots")
+		seed       = fs.Uint64("seed", 1, "random seed")
+		delta1     = fs.Float64("delta1", 1, "sensing energy per active slot")
+		delta2     = fs.Float64("delta2", 6, "extra energy per capture")
+		theta1     = fs.Int("theta1", 3, "theta1 for the periodic policy")
+		workers    = fs.Int("workers", 0, "worker pool size for the independent-sensor fast path (0 = one per CPU)")
+		kernel     = fs.String("kernel", "auto", "simulation engine: auto (compiled kernel when eligible) | on (force kernel) | off (reference engine)")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = fs.String("memprofile", "", "write a heap profile to this file")
+		metrics    = fs.Bool("metrics", false, "collect and print run metrics (miss decomposition, battery occupancy; never changes results)")
+		mAddr      = fs.String("metrics-addr", "", "serve /debug/vars and /debug/pprof on this address while running (e.g. localhost:6060)")
+		traceFile  = fs.String("trace", "", "write a slot-level trace to this file plus a .manifest.json sidecar (implies -metrics; never changes results)")
+		flightSize = fs.Int("flight-recorder", 0, "arm a flight recorder keeping the last N slot records per sensor (0 disables)")
+		flightDump = fs.String("flight-dump", "", "write flight-recorder dumps as JSON to this file (requires -flight-recorder)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +74,13 @@ func run(args []string) error {
 	engine, err := sim.ParseEngine(*kernel)
 	if err != nil {
 		return err
+	}
+	if *flightDump != "" && *flightSize <= 0 {
+		return fmt.Errorf("-flight-dump requires -flight-recorder")
+	}
+	if *traceFile != "" {
+		// The manifest sidecar records the run's metrics block; collect it.
+		*metrics = true
 	}
 	stopProfiles, err := cliutil.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -68,6 +92,12 @@ func run(args []string) error {
 			stopProfiles()
 		}
 	}()
+
+	var flight *trace.FlightRecorder
+	if *flightSize > 0 {
+		flight = trace.NewFlightRecorder(*flightSize)
+		obs.HandleDebug("/debug/trace", flight.Handler())
+	}
 	if *mAddr != "" {
 		bound, stopServe, err := obs.ServeMetrics(*mAddr)
 		if err != nil {
@@ -189,34 +219,129 @@ func run(args []string) error {
 		return fmt.Errorf("mode blocks is only meaningful with -policy periodic")
 	}
 
-	res, err := sim.Run(cfg)
-	if err != nil {
-		return err
+	var (
+		tw *trace.Writer
+		tf *os.File
+	)
+	if *traceFile != "" {
+		tf, err = os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("creating trace file: %w", err)
+		}
+		tw = trace.NewWriter(tf)
+	}
+	if tw != nil || flight != nil {
+		cfg.Tracer = trace.New(tw, flight)
 	}
 
-	fmt.Printf("workload   %s (mu=%.2f), recharge %s (e=%.4f/sensor), policy %s, info %s\n",
+	before := obs.Snapshot()
+	start := time.Now()
+	res, err := sim.Run(cfg)
+	if err != nil {
+		if tf != nil {
+			tf.Close()
+		}
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			tf.Close()
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := tf.Close(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := writeTraceManifest(*traceFile, tw, flight != nil, cfg, engine, start, elapsed, obs.Diff(before, obs.Snapshot())); err != nil {
+			return err
+		}
+	}
+	if *flightDump != "" {
+		data, err := json.MarshalIndent(flight.Dumps(), "", "  ")
+		if err != nil {
+			return fmt.Errorf("marshaling flight dumps: %w", err)
+		}
+		if err := os.WriteFile(*flightDump, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing flight dumps: %w", err)
+		}
+	}
+
+	fmt.Fprintf(out, "workload   %s (mu=%.2f), recharge %s (e=%.4f/sensor), policy %s, info %s\n",
 		d.Name(), d.Mean(), newRecharge().Name(), e, *policy, *infoStr)
-	fmt.Printf("sensors    N=%d, K=%g, T=%d slots\n", *n, *capK, *slots)
-	fmt.Printf("events     %d   captured %d\n", res.Events, res.Captures)
-	fmt.Printf("QoM        %.4f   (analytic, energy assumption: %.4f)\n", res.QoM, analytic)
+	fmt.Fprintf(out, "sensors    N=%d, K=%g, T=%d slots\n", *n, *capK, *slots)
+	fmt.Fprintf(out, "events     %d   captured %d\n", res.Events, res.Captures)
+	fmt.Fprintf(out, "QoM        %.4f   (analytic, energy assumption: %.4f)\n", res.QoM, analytic)
 	if *n > 1 {
-		fmt.Printf("balance    load imbalance (max-min)/mean activations = %.4f\n", res.LoadImbalance())
+		fmt.Fprintf(out, "balance    load imbalance (max-min)/mean activations = %.4f\n", res.LoadImbalance())
 	}
 	if m := res.Metrics; m != nil {
-		fmt.Printf("engine     %s\n", res.Engine)
-		fmt.Printf("misses     asleep=%d noenergy=%d (captures %d + misses %d = events %d)\n",
+		fmt.Fprintf(out, "engine     %s\n", res.Engine)
+		fmt.Fprintf(out, "misses     asleep=%d noenergy=%d (captures %d + misses %d = events %d)\n",
 			m.MissAsleep, m.MissNoEnergy, res.Captures, m.MissAsleep+m.MissNoEnergy, res.Events)
-		fmt.Printf("energy     wasted activations=%d, outage slots=%d/%d observed, mean battery %.1f%% of K\n",
+		fmt.Fprintf(out, "energy     wasted activations=%d, outage slots=%d/%d observed, mean battery %.1f%% of K\n",
 			m.WastedActivations, m.EnergyOutageSlots, m.ObservedSlots, 100*m.MeanBatteryFrac())
 		if m.KernelRuns > 0 {
-			fmt.Printf("kernel     %d sleep runs fast-forwarded %d slots (%.1f%% of T)\n",
+			fmt.Fprintf(out, "kernel     %d sleep runs fast-forwarded %d slots (%.1f%% of T)\n",
 				m.KernelRuns, m.KernelSlotsFastForwarded, 100*float64(m.KernelSlotsFastForwarded)/float64(res.Slots))
 		}
 	}
+	if tw != nil {
+		c := tw.Counts()
+		fmt.Fprintf(out, "trace      %s: %d records, %d spans, %d bytes (manifest %s)\n",
+			*traceFile, c.Records, c.Spans, c.Bytes, *traceFile+".manifest.json")
+	}
+	if flight != nil && *flightDump != "" {
+		fmt.Fprintf(out, "flight     %d dump(s) written to %s\n", flight.TotalDumps(), *flightDump)
+	}
 	for i, s := range res.Sensors {
-		fmt.Printf("sensor %-2d  activations=%d captures=%d denied=%d energyUsed=%.0f battery=%.1f\n",
+		fmt.Fprintf(out, "sensor %-2d  activations=%d captures=%d denied=%d energyUsed=%.0f battery=%.1f\n",
 			i+1, s.Activations, s.Captures, s.Denied, s.EnergyConsumed, s.FinalBattery)
 	}
 	profilesStopped = true
 	return stopProfiles()
+}
+
+// writeTraceManifest writes the <trace>.manifest.json sidecar tying the
+// trace bytes to the run's configuration and metrics, in the same v2
+// schema cmd/experiments uses, so cmd/tracetool replay verifies simulate
+// traces too.
+func writeTraceManifest(tracePath string, tw *trace.Writer, withFlight bool, cfg sim.Config, engine sim.Engine, start time.Time, elapsed time.Duration, diff map[string]float64) error {
+	mode := "full"
+	if withFlight {
+		mode = "full+flight"
+	}
+	c := tw.Counts()
+	man := &obs.Manifest{
+		Experiment: "simulate",
+		Config: obs.ManifestConfig{
+			Slots:   cfg.Slots,
+			Seed:    cfg.Seed,
+			Workers: cfg.Workers,
+			Engine:  engine.String(),
+		},
+		ConfigDigest: obs.DigestConfig(
+			"experiment=simulate",
+			fmt.Sprintf("slots=%d", cfg.Slots),
+			fmt.Sprintf("seed=%d", cfg.Seed),
+			"engine="+engine.String(),
+		),
+		StartedAt:     start.UTC().Format(time.RFC3339),
+		WallMillis:    elapsed.Milliseconds(),
+		GoVersion:     obs.GoVersion(),
+		BinaryVersion: obs.BinaryVersion(),
+		Metrics:       obs.FilterPrefix(diff, "sim."),
+		Process:       obs.FilterPrefix(diff, "cache.", "pool."),
+		Trace: &obs.TraceInfo{
+			// The sidecar sits next to the trace, so the base name keeps
+			// the pair relocatable.
+			File:    filepath.Base(tracePath),
+			SHA256:  tw.SHA256(),
+			Mode:    mode,
+			Runs:    c.Runs,
+			Records: c.Records,
+			Spans:   c.Spans,
+		},
+	}
+	return man.Write(tracePath + ".manifest.json")
 }

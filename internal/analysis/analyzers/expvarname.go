@@ -18,10 +18,19 @@ const ExpvarnameMarker = "expvarname:ok"
 // sim.battery.frac_sum.
 var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$`)
 
-// metricConstructors are the internal/obs entry points that register a
-// metric under the given name.
-var metricConstructors = []string{
-	"NewCounter", "NewGauge", "NewFloatCounter", "NewCounterVec", "NewDurationHist",
+// metricConstructors are the entry points that register a metric (or a
+// metric-backed object, like a flight-recorder dump reason) under the
+// given name, per package.
+var metricConstructors = []struct {
+	pkg  string
+	name string
+}{
+	{"internal/obs", "NewCounter"},
+	{"internal/obs", "NewGauge"},
+	{"internal/obs", "NewFloatCounter"},
+	{"internal/obs", "NewCounterVec"},
+	{"internal/obs", "NewDurationHist"},
+	{"internal/trace", "NewDumpReason"},
 }
 
 // Expvarname checks every metric registration against the eventcap
@@ -47,7 +56,7 @@ func runExpvarname(pass *analysis.Pass) error {
 			}
 			matched := false
 			for _, ctor := range metricConstructors {
-				if pass.CalleeIn(call, "internal/obs", ctor) {
+				if pass.CalleeIn(call, ctor.pkg, ctor.name) {
 					matched = true
 					break
 				}

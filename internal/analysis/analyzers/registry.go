@@ -34,6 +34,7 @@ var simulationPathPackages = []string{
 	"internal/energy",
 	"internal/renewal",
 	"internal/experiments",
+	"internal/trace",
 }
 
 // For returns the analyzers that apply to importPath under the driver's

@@ -46,6 +46,11 @@ func TestScopePolicy(t *testing.T) {
 		}
 	}
 
+	tr := names("eventcap/internal/trace")
+	if !tr["nondeterm"] || !tr["seedflow"] {
+		t.Errorf("internal/trace: determinism analyzers must apply to the trace subsystem, got %v", tr)
+	}
+
 	par := names("eventcap/internal/parallel")
 	if par["nondeterm"] || par["seedflow"] {
 		t.Errorf("internal/parallel: determinism analyzers must not apply to the orchestration layer, got %v", par)

@@ -2,7 +2,10 @@
 // be literals matching the eventcap schema.
 package fixture
 
-import "eventcap/internal/obs"
+import (
+	"eventcap/internal/obs"
+	"eventcap/internal/trace"
+)
 
 func metrics(suffix string) {
 	_ = obs.NewCounter("sim.fixture.events")        // schema-conformant: quiet
@@ -17,4 +20,13 @@ func metrics(suffix string) {
 	_ = obs.NewCounter("sim." + suffix)             // want `not a string literal`
 	// expvarname:ok fixture demonstrates a justified computed name
 	_ = obs.NewCounter("sim." + suffix)
+
+	// Flight-recorder dump reasons register a backing counter, so their
+	// names obey the same schema.
+	_ = trace.NewDumpReason("trace.dump.fixture")  // quiet
+	_ = trace.NewDumpReason("trace.Dump.Fixture")  // want `violates the eventcap schema`
+	_ = trace.NewDumpReason("trace.dump-fixture")  // want `violates the eventcap schema`
+	_ = trace.NewDumpReason("trace." + suffix)     // want `not a string literal`
+	// expvarname:ok fixture demonstrates a justified computed reason
+	_ = trace.NewDumpReason("trace.d." + suffix)
 }

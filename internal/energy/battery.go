@@ -152,3 +152,18 @@ func (b *Battery) Consumed() float64 { return b.consumed }
 
 // Received returns total recharge energy offered (including overflow).
 func (b *Battery) Received() float64 { return b.received }
+
+// SpanProbe marks a point in the battery's recharge history so the
+// energy delivered across a fast-forwarded sleep run can be reported
+// (the trace subsystem's span records) without the recharge process
+// surfacing its individual draws.
+type SpanProbe struct {
+	received float64
+}
+
+// BeginSpan opens a probe at the current recharge total.
+func (b *Battery) BeginSpan() SpanProbe { return SpanProbe{received: b.received} }
+
+// EndSpan returns the recharge energy offered (including overflow)
+// since the probe was opened.
+func (b *Battery) EndSpan(p SpanProbe) float64 { return b.received - p.received }

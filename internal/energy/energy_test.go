@@ -40,6 +40,32 @@ func TestBatteryBasics(t *testing.T) {
 	}
 }
 
+func TestBatterySpanProbe(t *testing.T) {
+	b, err := NewBattery(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Recharge(2)
+	probe := b.BeginSpan()
+	if got := b.EndSpan(probe); got != 0 {
+		t.Fatalf("empty span delivered %v, want 0", got)
+	}
+	b.Recharge(3)
+	if !b.RechargeN(2, 4) {
+		t.Fatal("RechargeN fell back")
+	}
+	// The probe counts offered energy, so the 3 units lost to overflow
+	// (2 + 3 + 8 against capacity 10) still count.
+	if got := b.EndSpan(probe); got != 11 {
+		t.Fatalf("span delivered %v, want 11", got)
+	}
+	// Consumption does not disturb the recharge accounting.
+	b.Consume(5)
+	if got := b.EndSpan(probe); got != 11 {
+		t.Fatalf("span delivered after consume %v, want 11", got)
+	}
+}
+
 func TestBatteryClipsInitial(t *testing.T) {
 	b, err := NewBattery(5, 99)
 	if err != nil {

@@ -217,7 +217,7 @@ func runAblationRecharge(opts Options) (*Table, error) {
 	qoms, err := parallel.Map(opts.Workers, len(cases)*len(caps), func(j int) (float64, error) {
 		rc := cases[j/len(caps)]
 		i := j % len(caps)
-		res, err := runSim(sim.Config{
+		res, err := runSim(opts, sim.Config{
 			Dist:        d,
 			Params:      p,
 			NewRecharge: rc.mk,
@@ -294,7 +294,7 @@ func runAblationLoadBalance(opts Options) (*Table, error) {
 		if err != nil {
 			return 0, err
 		}
-		res, err := runSim(sim.Config{
+		res, err := runSim(opts, sim.Config{
 			Dist:        tc.d,
 			Params:      p,
 			NewRecharge: func() energy.Recharge { r, _ := energy.NewConstant(tc.e); return r },
@@ -352,7 +352,7 @@ func runAblationPoisson(opts Options) (*Table, error) {
 		e := 0.5 * c
 		newRecharge := func() energy.Recharge { r, _ := energy.NewBernoulli(0.5, c); return r }
 		run := func(newPolicy func(int) sim.Policy, seedOff uint64) (float64, error) {
-			res, err := runSim(sim.Config{
+			res, err := runSim(opts, sim.Config{
 				Dist:        g,
 				Params:      p,
 				NewRecharge: newRecharge,

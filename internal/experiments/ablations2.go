@@ -46,7 +46,7 @@ func runAblationAdaptive(opts Options) (*Table, error) {
 		ys := make([]float64, 3)
 		slots := int64(horizons[i])
 		run := func(newPolicy func(int) sim.Policy, seedOff uint64) (float64, error) {
-			res, err := runSim(sim.Config{
+			res, err := runSim(opts, sim.Config{
 				Dist:   d,
 				Params: p,
 				NewRecharge: func() energy.Recharge {
@@ -131,7 +131,7 @@ func runAblationFaults(opts Options) (*Table, error) {
 			failAt[s] = opts.Slots / 4
 		}
 		run := func(mode sim.Mode, vec core.Vector, seedOff uint64) (float64, error) {
-			res, err := runSim(sim.Config{
+			res, err := runSim(opts, sim.Config{
 				Dist:   d,
 				Params: p,
 				NewRecharge: func() energy.Recharge {

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"eventcap/internal/sim"
+	"eventcap/internal/trace"
 )
 
 // Options control an experiment run.
@@ -30,6 +31,13 @@ type Options struct {
 	// performs (default sim.EngineAuto: the compiled kernel where
 	// eligible, the reference engine otherwise).
 	Engine sim.Engine
+	// Tracer, when set, attaches a slot-level trace to every simulation
+	// the experiment performs. A tracer is a single sink shared by all
+	// sweep points, so withDefaults forces Workers to 1: points run
+	// sequentially and the trace's run order is deterministic. Results
+	// are unchanged (tracing is RNG-neutral and results are
+	// worker-invariant).
+	Tracer *trace.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -42,16 +50,21 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Tracer != nil {
+		o.Workers = 1
+	}
 	return o
 }
 
 // runSim is the one simulation entry point the experiment drivers use:
 // sim.Run with metrics collection enabled, so every run of every
 // experiment feeds the process-wide obs totals that cmd/experiments
-// snapshots into run manifests. Metrics collection is RNG-neutral
-// (sim.Config.Metrics), so results are identical to a bare sim.Run.
-func runSim(cfg sim.Config) (*sim.Result, error) {
+// snapshots into run manifests, plus the options' tracer when one is
+// attached. Both are RNG-neutral (sim.Config.Metrics, sim.Config.Tracer),
+// so results are identical to a bare sim.Run.
+func runSim(opts Options, cfg sim.Config) (*sim.Result, error) {
 	cfg.Metrics = true
+	cfg.Tracer = opts.Tracer
 	return sim.Run(cfg)
 }
 

@@ -128,7 +128,7 @@ func runFig3(id, title string, opts Options, info sim.Info) (*Table, error) {
 			Info:        info,
 			Engine:      opts.Engine,
 		}
-		res, err := runSim(cfg)
+		res, err := runSim(opts, cfg)
 		if err != nil {
 			return 0, fmt.Errorf("%s with %s at K=%g: %w", id, rc.name, caps[i], err)
 		}

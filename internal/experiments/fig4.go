@@ -50,7 +50,7 @@ func runFig4(id, title string, opts Options, d dist.Interarrival, cs []float64) 
 			return r
 		}
 		run := func(newPolicy func(int) sim.Policy, seedOff uint64) (float64, error) {
-			res, err := runSim(sim.Config{
+			res, err := runSim(opts, sim.Config{
 				Dist:        d,
 				Params:      p,
 				NewRecharge: newRecharge,

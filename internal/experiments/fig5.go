@@ -55,7 +55,7 @@ func runFig5(id, title string, opts Options, b float64) (*Table, error) {
 			return r
 		}
 		run := func(newPolicy func(int) sim.Policy, seedOff uint64) (float64, error) {
-			res, err := runSim(sim.Config{
+			res, err := runSim(opts, sim.Config{
 				Dist:        mr,
 				Params:      p,
 				NewRecharge: newRecharge,

@@ -38,7 +38,7 @@ func fig6Point(opts Options, n int, c float64, seedBase uint64) (mfi, mpi, ag, p
 		return r
 	}
 	run := func(mode sim.Mode, blockLen int, info sim.Info, newPolicy func(int) sim.Policy, seedOff uint64) (float64, error) {
-		res, err := runSim(sim.Config{
+		res, err := runSim(opts, sim.Config{
 			Dist:        d,
 			Params:      p,
 			NewRecharge: newRecharge,

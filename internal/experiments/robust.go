@@ -67,7 +67,7 @@ func robustClustering(
 	}
 	// The two pilot runs are independent; fan them through the pool.
 	qoms, err := parallel.Map(opts.Workers, len(cands), func(i int) (float64, error) {
-		res, err := runSim(sim.Config{
+		res, err := runSim(opts, sim.Config{
 			Dist:        d,
 			Params:      p,
 			NewRecharge: newRecharge,

@@ -11,8 +11,13 @@ import (
 )
 
 // ManifestSchema identifies the manifest format; bump on breaking field
-// changes.
-const ManifestSchema = "eventcap/run-manifest/v1"
+// changes. v2 adds the optional trace block; v1 manifests (no trace)
+// remain readable.
+const ManifestSchema = "eventcap/run-manifest/v2"
+
+// ManifestSchemaV1 is the previous schema version, still accepted by
+// ReadManifest (v2 only adds optional fields).
+const ManifestSchemaV1 = "eventcap/run-manifest/v1"
 
 // ManifestConfig is the experiment configuration block: everything
 // needed to reproduce the CSV bit-for-bit (together with the binary
@@ -64,6 +69,27 @@ type Manifest struct {
 	// profiling was requested. Profiles cover the whole process run, not
 	// just this experiment.
 	Profiles map[string]string `json:"profiles,omitempty"`
+
+	// Trace describes the slot-level trace captured alongside the CSV,
+	// when tracing was requested (schema v2).
+	Trace *TraceInfo `json:"trace,omitempty"`
+}
+
+// TraceInfo ties a manifest to its trace file: cmd/tracetool's replay
+// subcommand re-derives the metrics block from the trace named here and
+// verifies both the hash and the totals.
+type TraceInfo struct {
+	// File is the trace's base name (sibling of the manifest, like CSV).
+	File string `json:"file"`
+	// SHA256 is the content hash of the complete trace file.
+	SHA256 string `json:"sha256"`
+	// Mode records what was attached: "full", "flight", or "full+flight".
+	Mode string `json:"mode"`
+	// Runs/Records/Spans are the writer's frame counts, for quick sanity
+	// checks without opening the trace.
+	Runs    int64 `json:"runs"`
+	Records int64 `json:"records"`
+	Spans   int64 `json:"spans"`
 }
 
 // FilterPrefix returns the subset of snap whose keys start with any of
@@ -106,8 +132,9 @@ func ReadManifest(path string) (*Manifest, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("obs: parsing manifest %s: %w", path, err)
 	}
-	if m.Schema != ManifestSchema {
-		return nil, fmt.Errorf("obs: manifest %s has schema %q, want %q", path, m.Schema, ManifestSchema)
+	if m.Schema != ManifestSchema && m.Schema != ManifestSchemaV1 {
+		return nil, fmt.Errorf("obs: manifest %s has schema %q, want %q or %q",
+			path, m.Schema, ManifestSchema, ManifestSchemaV1)
 	}
 	return &m, nil
 }

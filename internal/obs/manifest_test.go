@@ -23,6 +23,7 @@ func TestManifestRoundTrip(t *testing.T) {
 		Metrics:      map[string]float64{"sim.events": 10, "sim.captures": 7},
 		Process:      map[string]float64{"pool.jobs.done": 5},
 		Profiles:     map[string]string{"cpu": "cpu.prof"},
+		Trace:        &TraceInfo{File: "fig3a.evtrace", SHA256: SHA256Hex(nil), Mode: "full", Runs: 2, Records: 40},
 	}
 	// Write fills Schema and BinaryVersion-style fields as given.
 	if err := want.Write(path); err != nil {
@@ -35,6 +36,22 @@ func TestManifestRoundTrip(t *testing.T) {
 	want.Schema = ManifestSchema // filled in by Write
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadManifestAcceptsV1(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "old.manifest.json")
+	m := &Manifest{Schema: ManifestSchemaV1, Experiment: "fig3a", CSV: "fig3a.csv"}
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatalf("v1 manifest rejected: %v", err)
+	}
+	if got.Schema != ManifestSchemaV1 || got.Trace != nil {
+		t.Fatalf("v1 manifest misread: %+v", got)
 	}
 }
 

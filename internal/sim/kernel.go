@@ -7,6 +7,7 @@ import (
 	"eventcap/internal/core"
 	"eventcap/internal/energy"
 	"eventcap/internal/rng"
+	"eventcap/internal/trace"
 )
 
 // Engine selects the simulation engine.
@@ -210,6 +211,33 @@ func runKernel(cfg Config, plan *kernelPlan) (*Result, error) {
 		sampleCountdown = batterySampleStride
 	}
 
+	// Tracing: awake slots always decide with nonzero probability (a
+	// zero-probability state would have been a sleep run), so every
+	// awake slot is decision-relevant and gets a record; each sleep run
+	// becomes one compressed span. partialH mirrors the reference
+	// engine's h = -1 under partial information, keeping the two
+	// engines' records comparable for tracetool diff.
+	tr := cfg.Tracer
+	partialH := cfg.Info == PartialInfo
+	// Cached sinks: the awake-slot loop records directly (one Rec copy
+	// per slot) instead of through tr.Slot's fan-out.
+	var trWriter *trace.Writer
+	var trFlight *trace.FlightRecorder
+	if tr != nil {
+		trWriter, trFlight = tr.Writer(), tr.Recorder()
+		tr.RunStart(trace.RunInfo{
+			Engine:     trace.EngineKernel,
+			Sensors:    1,
+			Seed:       cfg.Seed,
+			Slots:      cfg.Slots,
+			BatteryCap: cfg.BatteryCap,
+			Cost:       cost,
+			Policy:     plan.policy.Name(),
+			Dist:       cfg.Dist.Name(),
+			Recharge:   rech.Name(),
+		})
+	}
+
 	// The paper assumes an event (and capture) at slot 0.
 	lastEvent, lastCapture := int64(0), int64(0)
 	nextEvent := int64(cfg.Dist.Sample(eventSrc))
@@ -240,6 +268,10 @@ func runKernel(cfg Config, plan *kernelPlan) (*Result, error) {
 				n = left
 			}
 			eventsBefore := res.Events
+			var probe energy.SpanProbe
+			if tr != nil {
+				probe = battery.BeginSpan()
+			}
 			if plan.state == StateSinceEvent && nextEvent-t+1 <= n {
 				// The event resets h to 1 for the following slot, ending
 				// the run at the (slept-through) event slot itself.
@@ -260,6 +292,22 @@ func runKernel(cfg Config, plan *kernelPlan) (*Result, error) {
 					nextEvent += int64(cfg.Dist.Sample(eventSrc))
 				}
 			}
+			if tr != nil {
+				sp := trace.Span{
+					Start:     t,
+					Len:       n,
+					Events:    res.Events - eventsBefore,
+					State:     uint8(plan.state),
+					Delivered: battery.EndSpan(probe),
+					Battery:   battery.Level(),
+				}
+				if trWriter != nil {
+					trWriter.Span(sp)
+				}
+				if trFlight != nil {
+					trFlight.Span(sp)
+				}
+			}
 			if m != nil {
 				// Every event inside a sleep run is a policy-scheduled
 				// miss: the sensor slept through it by construction.
@@ -272,20 +320,37 @@ func runKernel(cfg Config, plan *kernelPlan) (*Result, error) {
 		}
 
 		// Awake slot: replicate the reference engine's slot exactly.
+		var amt float64
 		if isBern {
 			if rechargeSrc.Bernoulli(bernQ) {
+				amt = bernC
 				battery.Recharge(bernC)
 			}
 		} else {
-			battery.Recharge(rech.Next(rechargeSrc))
+			amt = rech.Next(rechargeSrc)
+			battery.Recharge(amt)
 		}
 		event := t == nextEvent
-		captured, denied := false, false
-		if decisionSrc.Bernoulli(table.At(int(st))) {
+		p := table.At(int(st))
+		// Decision-time states and battery, captured before the slot
+		// mutates them, mirroring the reference engine's records.
+		var h, f int64
+		var preLvl float64
+		if tr != nil {
+			h = t - lastEvent
+			if partialH {
+				h = -1
+			}
+			f = t - lastCapture
+			preLvl = battery.Level()
+		}
+		captured, denied, active := false, false, false
+		if decisionSrc.Bernoulli(p) {
 			if !battery.CanConsume(cost) {
 				stats.Denied++
 				denied = true
 			} else {
+				active = true
 				battery.Consume(delta1)
 				stats.Activations++
 				if event {
@@ -307,6 +372,47 @@ func runKernel(cfg Config, plan *kernelPlan) (*Result, error) {
 				} else {
 					m.MissAsleep++
 				}
+			}
+			if tr != nil && !captured && denied {
+				tr.OutageMiss(t)
+			}
+		}
+		if tr != nil {
+			// Awake slots always decide with p > 0, so every one is
+			// decision-relevant regardless of Full().
+			var flags uint8
+			if event {
+				flags |= trace.FlagEvent
+			}
+			if active {
+				flags |= trace.FlagActive
+				if event {
+					flags |= trace.FlagCaptured
+				}
+			}
+			if denied {
+				flags |= trace.FlagDenied
+			}
+			if trWriter != nil {
+				rec := trace.Rec{
+					Slot:     t,
+					Sensor:   0,
+					Engine:   trace.EngineKernel,
+					Flags:    flags,
+					H:        int32(h),
+					F:        int32(f),
+					Prob:     p,
+					Battery:  preLvl,
+					Recharge: amt,
+				}
+				trWriter.Rec(rec)
+				if trFlight != nil {
+					trFlight.Record(&rec)
+				}
+			} else if trFlight != nil {
+				// Flight-only: fields go straight into the ring slot.
+				trFlight.RecordSlot(t, 0, trace.EngineKernel, flags,
+					int32(h), int32(f), p, preLvl, amt)
 			}
 		}
 		// End-of-slot battery sample on every stride-th awake slot,
@@ -334,6 +440,9 @@ func runKernel(cfg Config, plan *kernelPlan) (*Result, error) {
 	stats.FinalBattery = battery.Level()
 	if res.Events > 0 {
 		res.QoM = float64(res.Captures) / float64(res.Events)
+	}
+	if tr != nil {
+		tr.RunEnd(trace.RunEnd{Events: res.Events, Captures: res.Captures})
 	}
 	recordEngine(res.Engine)
 	if m != nil {

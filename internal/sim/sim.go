@@ -17,6 +17,7 @@ import (
 	"eventcap/internal/energy"
 	"eventcap/internal/parallel"
 	"eventcap/internal/rng"
+	"eventcap/internal/trace"
 )
 
 // Info selects the observation model.
@@ -231,6 +232,19 @@ type Config struct {
 	// or off (asserted by TestMetricsDoNotChangeResults).
 	Metrics bool
 
+	// Tracer, when non-nil, receives a slot-level execution trace on
+	// every engine: per-slot decision records, and on the compiled
+	// kernel one compressed span per fast-forwarded sleep run. Tracing
+	// is RNG-neutral like Metrics — it never consumes a random draw, so
+	// results are byte-identical with it attached or not (asserted by
+	// TestTracingDoesNotChangeResults). A full-trace writer serializes
+	// the independent-sensor path onto one worker (results are
+	// worker-invariant, so outputs do not change); a flight recorder
+	// alone leaves the worker pool untouched. Unlike the legacy Trace
+	// callback, a Tracer keeps kernel-eligible configurations on the
+	// kernel.
+	Tracer *trace.Tracer
+
 	// Engine selects the simulation engine. The default, EngineAuto, runs
 	// the compiled slot-skipping kernel whenever the configuration is
 	// eligible (single sensor, compilable stateless policy,
@@ -354,6 +368,36 @@ func Run(cfg Config) (*Result, error) {
 		m = &Metrics{}
 		res.Metrics = m
 	}
+	// Tracing state: trFull demands a record for every decided slot;
+	// otherwise only decision-relevant slots (nonzero activation
+	// probability or an event) reach the flight recorder, which keeps
+	// the per-slot cost of an armed recorder near zero on sparse
+	// policies. rechargeDraw keeps each sensor's last delivered energy
+	// for the records.
+	tr := cfg.Tracer
+	trFull := tr.Full()
+	// The hot loop records through the cached sinks rather than
+	// tr.Slot's fan-out: one Rec copy instead of two per recorded slot
+	// (the flight recorder's ≤2% budget is priced per record).
+	var trWriter *trace.Writer
+	var trFlight *trace.FlightRecorder
+	var rechargeDraw []float64
+	var slotRecs int
+	if tr != nil {
+		trWriter, trFlight = tr.Writer(), tr.Recorder()
+		rechargeDraw = make([]float64, cfg.N)
+		tr.RunStart(trace.RunInfo{
+			Engine:     trace.EngineReference,
+			Sensors:    cfg.N,
+			Seed:       cfg.Seed,
+			Slots:      cfg.Slots,
+			BatteryCap: cfg.BatteryCap,
+			Cost:       cost,
+			Policy:     policies[0].Name(),
+			Dist:       cfg.Dist.Name(),
+			Recharge:   recharges[0].Name(),
+		})
+	}
 	// Per-slot metric accumulators stay in locals (registers) inside the
 	// loop and flush into m once at the end, keeping the instrumented
 	// loop within the overhead budget of DESIGN.md §9. costGate mirrors
@@ -416,28 +460,63 @@ func Run(cfg Config) (*Result, error) {
 			st.SinceCapture = int(t - ownLastCapture[s])
 		}
 		p := policies[s].ActivationProb(st)
-		if p <= 0 || !decisionSrc.Bernoulli(p) {
-			policies[s].Observe(outcomeFor(cfg.Info, false, event, false))
-			return
+		active := false
+		// Trace flags are set inside the branches the decision already
+		// takes — no separate per-record flag branching on the hot path.
+		var flags uint8
+		if event {
+			flags = trace.FlagEvent
 		}
-		stats := &res.Sensors[s]
-		if !batteries[s].CanConsume(cost) {
-			stats.Denied++
+		switch {
+		case p <= 0 || !decisionSrc.Bernoulli(p):
+			// Asleep: no draw consumed when p <= 0, one otherwise.
+		case !batteries[s].CanConsume(cost):
+			res.Sensors[s].Denied++
+			flags |= trace.FlagDenied
 			if event {
 				eventDenied = true
 			}
-			policies[s].Observe(outcomeFor(cfg.Info, false, event, false))
-			return
+		default:
+			stats := &res.Sensors[s]
+			active = true
+			actions[s] = true
+			flags |= trace.FlagActive
+			batteries[s].Consume(cfg.Params.Delta1)
+			stats.Activations++
+			if event {
+				batteries[s].Consume(cfg.Params.Delta2)
+				stats.Captures++
+				captured = true
+				flags |= trace.FlagCaptured
+			}
 		}
-		actions[s] = true
-		batteries[s].Consume(cfg.Params.Delta1)
-		stats.Activations++
-		if event {
-			batteries[s].Consume(cfg.Params.Delta2)
-			stats.Captures++
-			captured = true
+		policies[s].Observe(outcomeFor(cfg.Info, active, event, active && event))
+		if tr != nil && (trFull || p > 0 || event) {
+			if trWriter != nil {
+				rec := trace.Rec{
+					Slot:     t,
+					Sensor:   int32(s),
+					Engine:   trace.EngineReference,
+					Flags:    flags,
+					H:        int32(st.SinceEvent),
+					F:        int32(st.SinceCapture),
+					Prob:     p,
+					Battery:  st.Battery,
+					Recharge: rechargeDraw[s],
+				}
+				trWriter.Rec(rec)
+				slotRecs++
+				if trFlight != nil {
+					trFlight.Record(&rec)
+				}
+			} else if trFlight != nil {
+				// Flight-only (the leave-on mode): fields go straight
+				// into the ring slot, no intermediate Rec.
+				trFlight.RecordSlot(t, int32(s), trace.EngineReference, flags,
+					int32(st.SinceEvent), int32(st.SinceCapture),
+					p, st.Battery, rechargeDraw[s])
+			}
 		}
-		policies[s].Observe(outcomeFor(cfg.Info, true, event, event))
 	}
 
 	// The slot loop is blocked into batterySampleStride-long chunks so
@@ -459,8 +538,11 @@ func Run(cfg Config) (*Result, error) {
 		for ; t <= chunkEnd; t++ {
 			if hasFail {
 				for s := 0; s < cfg.N; s++ {
-					if t >= failSlot[s] {
+					if !failed[s] && t >= failSlot[s] {
 						failed[s] = true
+						if tr != nil {
+							tr.Fault(s, t)
+						}
 					}
 				}
 			}
@@ -469,7 +551,11 @@ func Run(cfg Config) (*Result, error) {
 				if failed[s] {
 					continue
 				}
-				batteries[s].Recharge(recharges[s].Next(rechargeSrcs[s]))
+				amt := recharges[s].Next(rechargeSrcs[s])
+				batteries[s].Recharge(amt)
+				if tr != nil {
+					rechargeDraw[s] = amt
+				}
 			}
 
 			event = t == nextEvent
@@ -488,6 +574,25 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 
+			if trFull {
+				// An event slot in which no sensor decided (all failed,
+				// or the in-charge sensor failed) still needs a record —
+				// replay reconstructs the event count from the trace. The
+				// marker only matters to the full trace (the flight
+				// recorder drops Sensor = -1 records), so a flight-only
+				// run pays none of this bookkeeping.
+				if event && slotRecs == 0 {
+					tr.Slot(trace.Rec{
+						Slot:   t,
+						Sensor: -1,
+						Engine: trace.EngineReference,
+						Flags:  trace.FlagEvent,
+						H:      int32(t - lastEvent),
+						F:      int32(t - sharedLastCapture),
+					})
+				}
+				slotRecs = 0
+			}
 			if cfg.Trace != nil {
 				// Record decision-time states (the paper's H_t / F_t).
 				rec := TraceRecord{
@@ -511,6 +616,9 @@ func Run(cfg Config) (*Result, error) {
 					} else {
 						m.MissAsleep++
 					}
+				}
+				if tr != nil && !captured && eventDenied {
+					tr.OutageMiss(t)
 				}
 			}
 			if captured {
@@ -563,6 +671,9 @@ func Run(cfg Config) (*Result, error) {
 	if res.Events > 0 {
 		res.QoM = float64(res.Captures) / float64(res.Events)
 	}
+	if tr != nil {
+		tr.RunEnd(trace.RunEnd{Events: res.Events, Captures: res.Captures})
+	}
 	recordEngine(res.Engine)
 	if m != nil {
 		m.ObservedSlots = obsSlots
@@ -609,13 +720,43 @@ func runIndependent(cfg Config) (*Result, error) {
 
 	cost := cfg.Params.ActivationCost()
 	invCap := 1 / cfg.BatteryCap
+
+	// A full-trace writer is a single stream, so the sensor jobs run on
+	// one worker, in index order — the per-sensor decomposition already
+	// makes results identical for every worker count, so forcing
+	// sequential execution changes only the trace file's record order.
+	// A flight recorder alone is safe concurrently: each job writes
+	// only its own sensor's ring.
+	tr := cfg.Tracer
+	trFull := tr.Full()
+	var trWriter *trace.Writer
+	var trFlight *trace.FlightRecorder
+	workers := cfg.Workers
+	if trFull {
+		workers = 1
+	}
+	if tr != nil {
+		trWriter, trFlight = tr.Writer(), tr.Recorder()
+		tr.RunStart(trace.RunInfo{
+			Engine:     trace.EngineIndependent,
+			Sensors:    cfg.N,
+			Seed:       cfg.Seed,
+			Slots:      cfg.Slots,
+			BatteryCap: cfg.BatteryCap,
+			Cost:       cost,
+			Policy:     cfg.NewPolicy(0).Name(),
+			Dist:       cfg.Dist.Name(),
+			Recharge:   cfg.NewRecharge().Name(),
+		})
+	}
+
 	type sensorOut struct {
 		stats    SensorStats
 		captured []bool // indexed like eventSlots
-		denied   []bool // energy-denied attempts per event (metrics only)
+		denied   []bool // energy-denied attempts per event (metrics/trace only)
 		m        *Metrics
 	}
-	outs, err := parallel.Map(cfg.Workers, cfg.N, func(s int) (sensorOut, error) {
+	outs, err := parallel.Map(workers, cfg.N, func(s int) (sensorOut, error) {
 		b, err := energy.NewBattery(cfg.BatteryCap, cfg.InitialBattery)
 		if err != nil {
 			return sensorOut{}, err
@@ -630,14 +771,17 @@ func runIndependent(cfg Config) (*Result, error) {
 		}
 		out := sensorOut{captured: make([]bool, len(eventSlots))}
 		if cfg.Metrics {
-			out.denied = make([]bool, len(eventSlots))
 			out.m = &Metrics{}
+		}
+		if cfg.Metrics || tr != nil {
+			out.denied = make([]bool, len(eventSlots))
 		}
 		m := out.m
 		lastCapture := int64(0)
 		ei := 0
 		for t := int64(1); t <= cfg.Slots && t < failSlot; t++ {
-			b.Recharge(recharge.Next(rSrc))
+			amt := recharge.Next(rSrc)
+			b.Recharge(amt)
 			event := ei < len(eventSlots) && eventSlots[ei] == t
 			st := SlotState{
 				Slot:         t,
@@ -646,16 +790,18 @@ func runIndependent(cfg Config) (*Result, error) {
 				Battery:      b.Level(),
 			}
 			p := pol.ActivationProb(st)
+			active, denied := false, false
 			switch {
 			case p <= 0 || !dSrc.Bernoulli(p):
-				pol.Observe(outcomeFor(cfg.Info, false, event, false))
+				// Asleep: no draw consumed when p <= 0, one otherwise.
 			case !b.CanConsume(cost):
 				out.stats.Denied++
-				if m != nil && event {
+				denied = true
+				if out.denied != nil && event {
 					out.denied[ei] = true
 				}
-				pol.Observe(outcomeFor(cfg.Info, false, event, false))
 			default:
+				active = true
 				b.Consume(cfg.Params.Delta1)
 				out.stats.Activations++
 				if event {
@@ -664,7 +810,43 @@ func runIndependent(cfg Config) (*Result, error) {
 					out.captured[ei] = true
 					lastCapture = t
 				}
-				pol.Observe(outcomeFor(cfg.Info, true, event, event))
+			}
+			pol.Observe(outcomeFor(cfg.Info, active, event, active && event))
+			if tr != nil && (trFull || p > 0 || event) {
+				var flags uint8
+				if event {
+					flags |= trace.FlagEvent
+				}
+				if active {
+					flags |= trace.FlagActive
+					if event {
+						flags |= trace.FlagCaptured
+					}
+				}
+				if denied {
+					flags |= trace.FlagDenied
+				}
+				if trWriter != nil {
+					rec := trace.Rec{
+						Slot:     t,
+						Sensor:   int32(s),
+						Engine:   trace.EngineIndependent,
+						Flags:    flags,
+						H:        -1,
+						F:        int32(st.SinceCapture),
+						Prob:     p,
+						Battery:  st.Battery,
+						Recharge: amt,
+					}
+					trWriter.Rec(rec)
+					if trFlight != nil {
+						trFlight.Record(&rec)
+					}
+				} else if trFlight != nil {
+					// Flight-only: fields go straight into the ring slot.
+					trFlight.RecordSlot(t, int32(s), trace.EngineIndependent, flags,
+						-1, int32(st.SinceCapture), p, st.Battery, amt)
+				}
 			}
 			if event {
 				ei++
@@ -687,6 +869,9 @@ func runIndependent(cfg Config) (*Result, error) {
 			// an event slot always captures.
 			m.WastedActivations = out.stats.Activations - out.stats.Captures
 		}
+		if tr != nil && failSlot <= cfg.Slots {
+			tr.Fault(s, failSlot)
+		}
 		return out, nil
 	})
 	if err != nil {
@@ -704,6 +889,8 @@ func runIndependent(cfg Config) (*Result, error) {
 	if cfg.Metrics {
 		m = &Metrics{}
 		res.Metrics = m
+	}
+	if cfg.Metrics || tr != nil {
 		deniedAny = make([]bool, len(eventSlots))
 	}
 	capturedAny := make([]bool, len(eventSlots))
@@ -716,6 +903,8 @@ func runIndependent(cfg Config) (*Result, error) {
 		}
 		if m != nil {
 			m.Merge(o.m)
+		}
+		if deniedAny != nil {
 			for i, d := range o.denied {
 				if d {
 					deniedAny[i] = true
@@ -736,6 +925,34 @@ func runIndependent(cfg Config) (*Result, error) {
 	}
 	if res.Events > 0 {
 		res.QoM = float64(res.Captures) / float64(res.Events)
+	}
+	if tr != nil {
+		// Aggregate event-outcome markers: per-sensor records only say
+		// what each sensor did; the markers pin down each event slot's
+		// run-level outcome (captured by anyone / denied by someone)
+		// even when every sensor slept or had already failed.
+		outageSeen := false
+		for i, slot := range eventSlots {
+			flags := trace.FlagEvent
+			if capturedAny[i] {
+				flags |= trace.FlagCaptured
+			} else if deniedAny[i] {
+				flags |= trace.FlagDenied
+				if !outageSeen {
+					outageSeen = true
+					tr.OutageMiss(slot)
+				}
+			}
+			tr.Slot(trace.Rec{
+				Slot:   slot,
+				Sensor: -1,
+				Engine: trace.EngineIndependent,
+				Flags:  flags,
+				H:      -1,
+				F:      -1,
+			})
+		}
+		tr.RunEnd(trace.RunEnd{Events: res.Events, Captures: res.Captures})
 	}
 	recordEngine(res.Engine)
 	if m != nil {

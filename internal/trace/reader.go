@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Frame is one decoded trace frame; Kind discriminates which field is
+// meaningful. All fields are comparable values, so two frames can be
+// compared with == (Diff relies on this).
+type Frame struct {
+	Kind byte
+	Run  RunInfo
+	Rec  Rec
+	Span Span
+	End  RunEnd
+}
+
+// Slot returns the frame's slot anchor for human-facing reports: the
+// record's slot, a span's first slot, and 0 for run boundaries.
+func (f *Frame) Slot() int64 {
+	switch f.Kind {
+	case FrameSlot:
+		return f.Rec.Slot
+	case FrameSpan:
+		return f.Span.Start
+	}
+	return 0
+}
+
+// Reader decodes a trace stream produced by Writer.
+type Reader struct {
+	br   *bufio.Reader
+	last int64
+}
+
+// maxStringLen bounds decoded string fields so a corrupt length prefix
+// cannot trigger a huge allocation.
+const maxStringLen = 1 << 16
+
+// NewReader checks the magic header and returns a frame reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<15)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("trace: bad magic %q (not a trace file?)", magic)
+	}
+	return &Reader{br: br}, nil
+}
+
+func (r *Reader) uvarint() (uint64, error) { return binary.ReadUvarint(r.br) }
+func (r *Reader) varint() (int64, error)   { return binary.ReadVarint(r.br) }
+
+func (r *Reader) float() (float64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r.br, b[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+}
+
+func (r *Reader) string() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("string length %d exceeds limit", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.br, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Next decodes the next frame. It returns io.EOF (exactly) at a clean
+// end of stream and a wrapped error on truncation or corruption.
+func (r *Reader) Next() (Frame, error) {
+	kind, err := r.br.ReadByte()
+	if err == io.EOF {
+		return Frame{}, io.EOF
+	}
+	if err != nil {
+		return Frame{}, fmt.Errorf("trace: reading frame kind: %w", err)
+	}
+	f, err := r.body(kind)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, fmt.Errorf("trace: decoding frame kind 0x%02x: %w", kind, err)
+	}
+	return f, nil
+}
+
+func (r *Reader) body(kind byte) (Frame, error) {
+	f := Frame{Kind: kind}
+	switch kind {
+	case FrameRunStart:
+		engine, err := r.br.ReadByte()
+		if err != nil {
+			return f, err
+		}
+		sensors, err := r.uvarint()
+		if err != nil {
+			return f, err
+		}
+		seed, err := r.uvarint()
+		if err != nil {
+			return f, err
+		}
+		slots, err := r.uvarint()
+		if err != nil {
+			return f, err
+		}
+		capK, err := r.float()
+		if err != nil {
+			return f, err
+		}
+		cost, err := r.float()
+		if err != nil {
+			return f, err
+		}
+		policy, err := r.string()
+		if err != nil {
+			return f, err
+		}
+		dist, err := r.string()
+		if err != nil {
+			return f, err
+		}
+		recharge, err := r.string()
+		if err != nil {
+			return f, err
+		}
+		f.Run = RunInfo{
+			Engine: engine, Sensors: int(sensors), Seed: seed, Slots: int64(slots),
+			BatteryCap: capK, Cost: cost, Policy: policy, Dist: dist, Recharge: recharge,
+		}
+		r.last = 0
+	case FrameSlot:
+		delta, err := r.varint()
+		if err != nil {
+			return f, err
+		}
+		sensor, err := r.varint()
+		if err != nil {
+			return f, err
+		}
+		engine, err := r.br.ReadByte()
+		if err != nil {
+			return f, err
+		}
+		flags, err := r.br.ReadByte()
+		if err != nil {
+			return f, err
+		}
+		h, err := r.varint()
+		if err != nil {
+			return f, err
+		}
+		fc, err := r.varint()
+		if err != nil {
+			return f, err
+		}
+		prob, err := r.float()
+		if err != nil {
+			return f, err
+		}
+		battery, err := r.float()
+		if err != nil {
+			return f, err
+		}
+		recharge, err := r.float()
+		if err != nil {
+			return f, err
+		}
+		f.Rec = Rec{
+			Slot: r.last + delta, Sensor: int32(sensor), Engine: engine, Flags: flags,
+			H: int32(h), F: int32(fc), Prob: prob, Battery: battery, Recharge: recharge,
+		}
+		r.last = f.Rec.Slot
+	case FrameSpan:
+		delta, err := r.varint()
+		if err != nil {
+			return f, err
+		}
+		length, err := r.uvarint()
+		if err != nil {
+			return f, err
+		}
+		events, err := r.uvarint()
+		if err != nil {
+			return f, err
+		}
+		state, err := r.br.ReadByte()
+		if err != nil {
+			return f, err
+		}
+		delivered, err := r.float()
+		if err != nil {
+			return f, err
+		}
+		battery, err := r.float()
+		if err != nil {
+			return f, err
+		}
+		f.Span = Span{
+			Start: r.last + delta, Len: int64(length), Events: int64(events),
+			State: state, Delivered: delivered, Battery: battery,
+		}
+		r.last = f.Span.Start + f.Span.Len - 1
+	case FrameRunEnd:
+		events, err := r.uvarint()
+		if err != nil {
+			return f, err
+		}
+		captures, err := r.uvarint()
+		if err != nil {
+			return f, err
+		}
+		f.End = RunEnd{Events: int64(events), Captures: int64(captures)}
+	default:
+		return f, fmt.Errorf("unknown frame kind")
+	}
+	return f, nil
+}

@@ -1,0 +1,194 @@
+// Package trace is the slot-level tracing subsystem of the simulation
+// stack (DESIGN.md §11). It records what the aggregate counters of
+// internal/obs cannot answer: the hazard state, battery level,
+// activation probability and decision outcome of individual slots, so a
+// missed event can be explained rather than merely counted.
+//
+// Two modes share one record type:
+//
+//   - Full trace: a streaming Writer encodes every decided slot (and,
+//     on the compiled kernel, every fast-forwarded sleep run as one
+//     compressed Span) into a compact binary file. The Reader, Replay,
+//     Stats and Diff functions consume that file; cmd/tracetool wraps
+//     them.
+//   - Flight recorder: a fixed-size ring of the last N decision-relevant
+//     records per sensor, cheap enough to leave on, dumped on invariant
+//     violation, fault injection, first miss-after-outage, or on demand
+//     through the -metrics-addr debug server (/debug/trace).
+//
+// The package depends only on the standard library and internal/obs,
+// and — like obs — never draws from a random stream: attaching a Tracer
+// cannot change any simulation output (the RNG-neutrality contract of
+// DESIGN.md §9, asserted by TestTracingDoesNotChangeResults).
+package trace
+
+import "eventcap/internal/obs"
+
+// Engine codes tag each record with the execution path that produced it.
+// They mirror sim's engines but are fixed small integers so the binary
+// format does not depend on sim's iota ordering.
+const (
+	// EngineReference is the interpreted per-slot engine.
+	EngineReference uint8 = 1
+	// EngineKernel is the compiled slot-skipping kernel.
+	EngineKernel uint8 = 2
+	// EngineIndependent is the per-sensor independent fast path
+	// (ModeAll + PartialInfo + N > 1).
+	EngineIndependent uint8 = 3
+)
+
+// EngineName renders an engine code for human-facing output.
+func EngineName(code uint8) string {
+	switch code {
+	case EngineReference:
+		return "reference"
+	case EngineKernel:
+		return "kernel"
+	case EngineIndependent:
+		return "independent"
+	}
+	return "unknown"
+}
+
+// Rec flag bits. FlagActive and FlagDenied are mutually exclusive;
+// FlagCaptured implies FlagActive and FlagEvent.
+const (
+	// FlagEvent marks a slot in which the event occurred.
+	FlagEvent uint8 = 1 << iota
+	// FlagActive marks a successful activation (energy gate passed).
+	FlagActive
+	// FlagDenied marks an activation attempt blocked by the energy gate.
+	FlagDenied
+	// FlagCaptured marks an activation that captured the slot's event.
+	FlagCaptured
+	// FlagSpan marks a flight-recorder ring entry holding a compressed
+	// fast-forward span (see FlightRecorder.Span for the field reuse);
+	// full-trace files encode spans as their own frame kind instead.
+	FlagSpan
+)
+
+// Rec is one slot-level trace record: the decision-time view of one
+// sensor in one slot. A Sensor of -1 marks an aggregate per-slot record
+// (an event slot in which no individual sensor decided, or the
+// independent engine's event-outcome summary).
+type Rec struct {
+	// Slot is the 1-based absolute slot number.
+	Slot int64
+	// Sensor is the 0-based deciding sensor, or -1 for a slot marker.
+	Sensor int32
+	// Engine is the engine code that executed the slot.
+	Engine uint8
+	// Flags is the decision outcome (Flag* bits).
+	Flags uint8
+	// H is the full-information hazard state h (slots since the last
+	// event) at decision time; -1 under partial information.
+	H int32
+	// F is the partial-information state f (slots since the last
+	// capture) at decision time; -1 when not tracked.
+	F int32
+	// Prob is the policy's activation probability for this state.
+	Prob float64
+	// Battery is the sensor's energy level after recharge, at decision
+	// time.
+	Battery float64
+	// Recharge is the energy delivered to the sensor this slot.
+	Recharge float64
+}
+
+// Span is one fast-forwarded sleep run of the compiled kernel,
+// compressed into a single record: the policy was provably silent for
+// Len slots, so no per-slot decisions exist to trace.
+type Span struct {
+	// Start is the first slot of the run (1-based).
+	Start int64
+	// Len is the number of slots fast-forwarded.
+	Len int64
+	// Events is how many events fell inside the run — all of them
+	// policy-scheduled misses (miss-asleep) by construction.
+	Events int64
+	// State is the sim.StateKind code driving the run length.
+	State uint8
+	// Delivered is the total recharge energy delivered across the run.
+	Delivered float64
+	// Battery is the level at the end of the run.
+	Battery float64
+}
+
+// RunInfo opens each traced run with the configuration a reader needs
+// to interpret its records.
+type RunInfo struct {
+	Engine     uint8
+	Sensors    int
+	Seed       uint64
+	Slots      int64
+	BatteryCap float64
+	// Cost is the activation cost δ1+δ2 the energy gate enforces;
+	// Battery < Cost at decision time is an energy outage.
+	Cost     float64
+	Policy   string
+	Dist     string
+	Recharge string
+}
+
+// RunEnd closes each traced run with the engine's own totals, letting
+// any reader self-verify its reconstruction (Replay asserts against
+// these before trusting a file).
+type RunEnd struct {
+	Events   int64
+	Captures int64
+}
+
+// Counts summarizes what a Writer emitted.
+type Counts struct {
+	Runs    int64
+	Records int64
+	Spans   int64
+	Bytes   int64
+}
+
+// Process-wide trace totals, flushed by Writer.Close rather than per
+// record so the streaming hot path never touches an atomic.
+var (
+	tracedRuns    = obs.NewCounter("trace.runs")
+	tracedRecords = obs.NewCounter("trace.records")
+	tracedSpans   = obs.NewCounter("trace.spans")
+	tracedBytes   = obs.NewCounter("trace.bytes")
+)
+
+// DumpReason labels a flight-recorder dump trigger and counts its
+// firings in the process-wide obs metric set (the name doubles as the
+// metric name, so it must follow the obs dot-schema — enforced by the
+// expvarname analyzer).
+type DumpReason struct {
+	name string
+	c    *obs.Counter
+}
+
+// NewDumpReason registers a dump-reason counter under name.
+func NewDumpReason(name string) DumpReason {
+	// expvarname:ok forwarding point: callers' literals are schema-checked at their NewDumpReason call
+	return DumpReason{name: name, c: obs.NewCounter(name)}
+}
+
+// String returns the reason's short label (the metric name's last
+// segment).
+func (r DumpReason) String() string {
+	for i := len(r.name) - 1; i >= 0; i-- {
+		if r.name[i] == '.' {
+			return r.name[i+1:]
+		}
+	}
+	return r.name
+}
+
+// Built-in flight-recorder dump reasons.
+var (
+	// DumpInvariant fires when a recorded slot violates a state
+	// invariant (probability outside [0,1], battery outside [0,K]).
+	DumpInvariant = NewDumpReason("trace.dump.invariant")
+	// DumpFault fires when fault injection kills a sensor.
+	DumpFault = NewDumpReason("trace.dump.fault")
+	// DumpOutageMiss fires on a run's first event missed because every
+	// activation attempt hit the energy gate (miss-after-outage).
+	DumpOutageMiss = NewDumpReason("trace.dump.outage_miss")
+)
