@@ -1,15 +1,15 @@
 # Development targets. `make check` is the gate a change must pass:
 # vet + build + full test suite + the determinism/invariant lint suite
 # + race-enabled library tests + a one-iteration benchmark smoke to
-# catch bit-rot in the bench harness.
+# catch bit-rot in the bench harness + the batch-engine speedup gate.
 
 GO ?= go
 
-.PHONY: all check vet build test lint fuzz-smoke race bench-smoke bench bench-kernel-json bench-obs-json bench-trace-json benchtraj trace-verify clean
+.PHONY: all check vet build test lint fuzz-smoke race bench-smoke bench bench-batch bench-kernel-json bench-batch-json bench-obs-json bench-trace-json benchtraj trace-verify clean
 
 all: check
 
-check: vet build test lint race bench-smoke trace-verify benchtraj
+check: vet build test lint race bench-smoke bench-batch trace-verify benchtraj
 
 vet:
 	$(GO) vet ./...
@@ -55,6 +55,18 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'SlotsPerOp|ObsOverhead|TraceOverhead' -benchtime 1x .
 
+# Batch-engine smoke: run the gated BENCH_batch emitter — the >=5x
+# speedup gate (batch engine vs B sequential kernel runs at B=10^4)
+# plus the zero steady-state loop-allocation check — writing the record
+# into batch-bench-artifact/ (the CI artifact upload) rather than over
+# the committed quiet-machine BENCH_batch.json, so `make check` stays a
+# no-op on tracked files. The gate compares the median of interleaved
+# rounds against the target minus the measured noise floor, which
+# absorbs shared-runner drift.
+bench-batch:
+	mkdir -p batch-bench-artifact
+	BENCH_BATCH_JSON=batch-bench-artifact/BENCH_batch.json $(GO) test -run TestEmitBenchBatchJSON -count=1 -timeout 900s .
+
 # End-to-end trace verification: run a traced kernel-heavy experiment
 # and replay the trace against its manifest with cmd/tracetool. The
 # trace-artifact/ directory doubles as the CI artifact upload.
@@ -75,6 +87,11 @@ bench:
 # configuration; see EXPERIMENTS.md).
 bench-kernel-json:
 	BENCH_KERNEL_JSON=BENCH_kernel.json $(GO) test -run TestEmitBenchKernelJSON -count=1 -v .
+
+# Regenerate the committed BENCH_batch.json (batch engine vs sequential
+# kernel replications; same gate as bench-batch). Needs a quiet machine.
+bench-batch-json:
+	BENCH_BATCH_JSON=BENCH_batch.json $(GO) test -run TestEmitBenchBatchJSON -count=1 -timeout 900s -v .
 
 # Measure the cost of Config.Metrics on both engines, assert the ≤2%
 # budget of DESIGN.md §9, and regenerate BENCH_obs.json. Needs a quiet

@@ -56,7 +56,8 @@ func run(args []string, out io.Writer) error {
 		slots       = fs.Int64("slots", 0, "override simulation length T (default 1e6; 1e5 with -quick)")
 		seed        = fs.Uint64("seed", 1, "random seed")
 		workers     = fs.Int("workers", 0, "worker pool size for sweep points (0 = one per CPU; results are identical for any value)")
-		kernel      = fs.String("kernel", "auto", "simulation engine: auto (compiled kernel when eligible) | on (force kernel) | off (reference engine)")
+		kernel      = fs.String("kernel", "auto", "simulation engine: auto (compiled kernel when eligible) | on (force kernel) | off (reference engine) | batch (force batch engine)")
+		batch       = fs.Int("batch", 0, "run each simulation as B independent replications at seeds seed..seed+B-1 and aggregate (batch engine when eligible)")
 		cpuProf     = fs.String("cpuprofile", "", "write a CPU profile to this file (a bare filename lands in -out)")
 		memProf     = fs.String("memprofile", "", "write a heap profile to this file (a bare filename lands in -out)")
 		progress    = fs.Duration("progress", 0, "print a live progress line to stderr at this interval (0 disables)")
@@ -160,7 +161,7 @@ func run(args []string, out io.Writer) error {
 		}()
 	}
 
-	opts := experiments.Options{Slots: *slots, Seed: *seed, Quick: *quick, Workers: *workers, Engine: engine}
+	opts := experiments.Options{Slots: *slots, Seed: *seed, Quick: *quick, Workers: *workers, Engine: engine, Batch: *batch}
 	for _, exp := range selected {
 		before := obs.Snapshot()
 		start := time.Now()

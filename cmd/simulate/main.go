@@ -59,7 +59,8 @@ func run(args []string, out io.Writer) error {
 		delta2     = fs.Float64("delta2", 6, "extra energy per capture")
 		theta1     = fs.Int("theta1", 3, "theta1 for the periodic policy")
 		workers    = fs.Int("workers", 0, "worker pool size for the independent-sensor fast path (0 = one per CPU)")
-		kernel     = fs.String("kernel", "auto", "simulation engine: auto (compiled kernel when eligible) | on (force kernel) | off (reference engine)")
+		kernel     = fs.String("kernel", "auto", "simulation engine: auto (compiled kernel when eligible) | on (force kernel) | off (reference engine) | batch (force batch engine)")
+		batch      = fs.Int("batch", 0, "run B independent replications at seeds seed..seed+B-1 and aggregate (batch engine when eligible, sequential runs otherwise)")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = fs.String("memprofile", "", "write a heap profile to this file")
 		metrics    = fs.Bool("metrics", false, "collect and print run metrics (miss decomposition, battery occupancy; never changes results)")
@@ -145,6 +146,7 @@ func run(args []string, out io.Writer) error {
 		Workers:     *workers,
 		Engine:      engine,
 		Metrics:     *metrics,
+		Batch:       *batch,
 	}
 	switch *mode {
 	case "roundrobin":
@@ -270,6 +272,10 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "workload   %s (mu=%.2f), recharge %s (e=%.4f/sensor), policy %s, info %s\n",
 		d.Name(), d.Mean(), newRecharge().Name(), e, *policy, *infoStr)
 	fmt.Fprintf(out, "sensors    N=%d, K=%g, T=%d slots\n", *n, *capK, *slots)
+	if *batch > 1 {
+		fmt.Fprintf(out, "batch      B=%d replications (seeds %d..%d), engine %s\n",
+			*batch, *seed, *seed+uint64(*batch)-1, res.Engine)
+	}
 	fmt.Fprintf(out, "events     %d   captured %d\n", res.Events, res.Captures)
 	fmt.Fprintf(out, "QoM        %.4f   (analytic, energy assumption: %.4f)\n", res.QoM, analytic)
 	if *n > 1 {
@@ -294,9 +300,18 @@ func run(args []string, out io.Writer) error {
 	if flight != nil && *flightDump != "" {
 		fmt.Fprintf(out, "flight     %d dump(s) written to %s\n", flight.TotalDumps(), *flightDump)
 	}
-	for i, s := range res.Sensors {
+	// A batch run carries one stats row per replication; listing 10^5 of
+	// them would drown the summary, so show only the first few.
+	sensors := res.Sensors
+	if *batch > 1 && len(sensors) > 4 {
+		sensors = sensors[:4]
+	}
+	for i, s := range sensors {
 		fmt.Fprintf(out, "sensor %-2d  activations=%d captures=%d denied=%d energyUsed=%.0f battery=%.1f\n",
 			i+1, s.Activations, s.Captures, s.Denied, s.EnergyConsumed, s.FinalBattery)
+	}
+	if len(sensors) < len(res.Sensors) {
+		fmt.Fprintf(out, "           ... %d more replications elided\n", len(res.Sensors)-len(sensors))
 	}
 	profilesStopped = true
 	return stopProfiles()

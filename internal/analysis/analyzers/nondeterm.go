@@ -2,6 +2,7 @@ package analyzers
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strconv"
 
@@ -25,7 +26,12 @@ const NondetermMarker = "nondeterm:ok"
 //   - ranging over a map (iteration order is deliberately randomized
 //     by the runtime);
 //   - writing to captured variables from inside a `go` statement
-//     (goroutine-unordered writes race with the spawning code).
+//     (goroutine-unordered writes race with the spawning code);
+//   - referencing an enclosing loop's iteration variable from inside a
+//     `go` statement (chunk fan-out goroutines must receive their work
+//     item as a parameter, the way parallel.Map passes the index — a
+//     captured iteration variable couples the goroutine to the loop's
+//     progress and reads differently under pre-1.22 semantics).
 //
 // A finding is suppressed by "// nondeterm:ok <reason>" when the site
 // is provably order-independent (for example a map range whose body
@@ -39,6 +45,7 @@ var Nondeterm = &analysis.Analyzer{
 
 func runNondeterm(pass *analysis.Pass) error {
 	for _, file := range pass.Files {
+		loops := loopVarExtents(pass, file)
 		for _, imp := range file.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)
 			if err != nil {
@@ -65,7 +72,7 @@ func runNondeterm(pass *analysis.Pass) error {
 					}
 				}
 			case *ast.GoStmt:
-				checkGoStmt(pass, n)
+				checkGoStmt(pass, n, loops)
 			}
 			return true
 		})
@@ -73,21 +80,77 @@ func runNondeterm(pass *analysis.Pass) error {
 	return nil
 }
 
-// checkGoStmt flags assignments inside a go'd function literal whose
-// target is declared outside the literal: such writes are unordered
-// with respect to the spawning goroutine, so any simulation result
-// derived from them depends on the schedule.
-func checkGoStmt(pass *analysis.Pass, g *ast.GoStmt) {
+// loopVarExtents maps every for/range iteration variable declared in
+// file to the extent of its loop statement, so checkGoStmt can tell a
+// captured iteration variable from any other capture.
+func loopVarExtents(pass *analysis.Pass, file *ast.File) map[*types.Var]ast.Node {
+	loops := make(map[*types.Var]ast.Node)
+	record := func(loop ast.Node, id *ast.Ident) {
+		if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok && v != nil {
+			loops[v] = loop
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						record(n, id)
+					}
+				}
+			}
+		case *ast.ForStmt:
+			if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, e := range init.Lhs {
+					if id, ok := e.(*ast.Ident); ok {
+						record(n, id)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return loops
+}
+
+// checkGoStmt flags two capture shapes inside a go'd function literal:
+// assignments whose target is declared outside the literal (unordered
+// with the spawning goroutine, so any simulation result derived from
+// them depends on the schedule), and any reference to an enclosing
+// loop's iteration variable (the work item must arrive as a parameter).
+func checkGoStmt(pass *analysis.Pass, g *ast.GoStmt, loops map[*types.Var]ast.Node) {
 	lit, ok := g.Call.Fun.(*ast.FuncLit)
 	if !ok {
 		return
 	}
+	flagged := make(map[*types.Var]bool)
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
 			// Nested literals inherit the same capture analysis; keep
 			// walking — their captured writes are just as unordered.
 			return true
+		case *ast.Ident:
+			v, ok := pass.TypesInfo.Uses[n].(*types.Var)
+			if !ok || flagged[v] {
+				return true
+			}
+			loop, isLoopVar := loops[v]
+			// Only captures count: the go statement must sit inside the
+			// loop whose variable it references, and the variable must
+			// be declared outside the literal (a loop the goroutine
+			// runs itself is its own business).
+			if !isLoopVar || g.Pos() < loop.Pos() || g.Pos() >= loop.End() {
+				return true
+			}
+			if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+				return true
+			}
+			if !pass.Justified(n.Pos(), NondetermMarker) {
+				flagged[v] = true
+				pass.Reportf(n.Pos(), "go statement captures loop variable %q: pass the work item as a parameter (as parallel.Map passes the chunk index) so the goroutine is decoupled from the loop's progress (// %s <reason> to suppress)", v.Name(), NondetermMarker)
+			}
 		case *ast.AssignStmt:
 			for _, lhs := range n.Lhs {
 				if id := rootIdent(lhs); id != nil && capturedFromOutside(pass, id, lit) &&

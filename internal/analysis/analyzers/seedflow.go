@@ -25,8 +25,15 @@ const SeedflowMarker = "seedflow:ok"
 //
 //   - calls of rng.New (only the documented run-root constructions may
 //     do this, annotated "// seedflow:ok run-root: ...");
+//   - calls of rng.Source.Reseed, which re-root an existing source in
+//     place — the batch engine's per-replication re-rooting is the one
+//     documented exception ("// seedflow:ok replication-root: ...");
 //   - composite literals of type rng.Source (the zero value is not a
 //     valid generator and any literal bypasses seeding entirely).
+//
+// Deriving streams with Split or SplitInto is the sanctioned flow and
+// is never flagged; SplitInto exists precisely so batch workers can
+// refill per-chunk stream state without minting new sources.
 var Seedflow = &analysis.Analyzer{
 	Name: "seedflow",
 	Doc: "RNG streams in simulation paths must descend from the seeded root via " +
@@ -41,6 +48,9 @@ func runSeedflow(pass *analysis.Pass) error {
 			case *ast.CallExpr:
 				if pass.CalleeIn(n, "internal/rng", "New") && !pass.Justified(n.Pos(), SeedflowMarker) {
 					pass.Reportf(n.Pos(), "fresh rng.New source in a simulation path: derive the stream from the run root via Split or parallel.MapSeeded (// %s <reason> for the documented run-root constructions)", SeedflowMarker)
+				}
+				if pass.CalleeIn(n, "internal/rng", "Reseed") && !pass.Justified(n.Pos(), SeedflowMarker) {
+					pass.Reportf(n.Pos(), "rng.Source.Reseed re-roots a stream mid-path, as seed-forking as a fresh rng.New: derive streams with Split/SplitInto instead (// %s <reason> for the documented replication-root constructions)", SeedflowMarker)
 				}
 			case *ast.CompositeLit:
 				if isRNGSourceType(pass.TypeOf(n)) && !pass.Justified(n.Pos(), SeedflowMarker) {

@@ -67,3 +67,35 @@ func capturedIncrement() {
 	}()
 	_ = n
 }
+
+func chunkFanOut(chunks []int) {
+	done := make(chan int, len(chunks)*4)
+	for i := range chunks {
+		go func() {
+			done <- chunks[i] // want `loop variable "i"`
+		}()
+		go func(i int) { // parameter shadows the loop variable: quiet
+			done <- chunks[i]
+		}(i)
+	}
+	for _, c := range chunks {
+		go func() {
+			done <- c // want `loop variable "c"`
+		}()
+		c := c // rebound local, not the iteration variable: quiet
+		go func() {
+			done <- c
+		}()
+	}
+	for j := 0; j < len(chunks); j++ {
+		go func() {
+			// nondeterm:ok fixture demonstrates a justified loop-variable capture
+			done <- chunks[j]
+		}()
+	}
+	go func() {
+		for k := range chunks { // the goroutine's own loop: quiet
+			done <- chunks[k]
+		}
+	}()
+}

@@ -27,3 +27,17 @@ func zeroValue() rng.Source {
 	var s rng.Source // var decl, not a literal: quiet (and invalid to use — New's contract)
 	return s
 }
+
+func reseedMidPath(src *rng.Source, cfg config) float64 {
+	src.Reseed(cfg.Seed, 0x5eed) // want `Reseed re-roots a stream`
+	return src.Float64()
+}
+
+func replicationRoot(root *rng.Source, cfg config, rep uint64) float64 {
+	// seedflow:ok replication-root: fixture's documented per-replication re-rooting
+	root.Reseed(cfg.Seed+rep, 0x5eed)
+	var eventSrc, decisionSrc rng.Source
+	root.SplitInto(&eventSrc, 1) // SplitInto refills stream state in place: quiet
+	root.SplitInto(&decisionSrc, 2)
+	return eventSrc.Float64() + decisionSrc.Float64()
+}

@@ -1,0 +1,55 @@
+package core
+
+// BatchTable augments an ActivationTable with the run lengths the batch
+// engine needs on top of the kernel's zero runs: for every state, how many
+// consecutive states starting there activate with certainty. During such a
+// run the policy consumes no decision randomness (Bernoulli(1) draws
+// nothing) and the sensor is awake every slot, so the whole stretch can be
+// applied to the battery in one closed-form step — the awake-side mirror
+// of the kernel's sleep fast-forward.
+type BatchTable struct {
+	*ActivationTable
+	// OneRun[i-1] is the number of consecutive states starting at i whose
+	// probability is >= 1 (0 when state i is not certain). A run extending
+	// into a Tail >= 1 saturates at UnboundedRun.
+	OneRun []int64
+}
+
+// CompileBatch derives the batch runs from an already-compiled table. The
+// walk mirrors CompileVector's backwards zero-run pass.
+func CompileBatch(t *ActivationTable) *BatchTable {
+	b := &BatchTable{
+		ActivationTable: t,
+		OneRun:          make([]int64, len(t.Prob)),
+	}
+	var run int64
+	if t.Tail >= 1 {
+		run = UnboundedRun
+	}
+	for i := len(t.Prob) - 1; i >= 0; i-- {
+		if t.Prob[i] < 1 {
+			run = 0
+		} else if run < UnboundedRun {
+			run++
+		}
+		b.OneRun[i] = run
+	}
+	return b
+}
+
+// OneRunFrom returns how many consecutive states starting at i activate
+// with certainty: 0 when state i can stay asleep, UnboundedRun when the
+// policy is always-on from i forward. States below 1 are treated as state
+// 1, matching ZeroRunFrom.
+func (b *BatchTable) OneRunFrom(i int) int64 {
+	if i < 1 {
+		i = 1
+	}
+	if i <= len(b.OneRun) {
+		return b.OneRun[i-1]
+	}
+	if b.Tail >= 1 {
+		return UnboundedRun
+	}
+	return 0
+}

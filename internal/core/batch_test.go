@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+)
+
+// oneRunBrute recomputes OneRunFrom by scanning forward through At.
+func oneRunBrute(t *ActivationTable, i int) int64 {
+	if i < 1 {
+		i = 1
+	}
+	var run int64
+	for {
+		if i <= len(t.Prob) {
+			if t.Prob[i-1] < 1 {
+				return run
+			}
+			run++
+			i++
+			continue
+		}
+		if t.Tail >= 1 {
+			return UnboundedRun
+		}
+		return run
+	}
+}
+
+// TestCompileBatchOneRuns cross-checks the backwards-walk one runs
+// against a forward scan for every state, across the prefix/tail shapes
+// the policies produce.
+func TestCompileBatchOneRuns(t *testing.T) {
+	cases := []Vector{
+		{Prefix: []float64{0, 0, 1, 1, 0.5, 1}, Tail: 1},
+		{Prefix: []float64{1, 1, 1}, Tail: 0},
+		{Prefix: []float64{0, 0.25, 0}, Tail: 1},
+		{Prefix: []float64{1, 0, 1, 1}, Tail: 0.5},
+		{Prefix: nil, Tail: 1},
+		{Prefix: nil, Tail: 0},
+		{Prefix: []float64{1}, Tail: 1},
+	}
+	for _, v := range cases {
+		at, err := CompileVector(v)
+		if err != nil {
+			t.Fatalf("%+v: %v", v, err)
+		}
+		b := CompileBatch(at)
+		for i := 0; i <= len(v.Prefix)+3; i++ {
+			got := b.OneRunFrom(i)
+			want := oneRunBrute(at, i)
+			// A finite run that reaches an always-on tail saturates.
+			if want > UnboundedRun {
+				want = UnboundedRun
+			}
+			if got != want {
+				t.Errorf("%+v state %d: OneRunFrom %d, brute force %d", v, i, got, want)
+			}
+		}
+	}
+}
+
+// TestCompileBatchKeepsZeroRuns checks the embedding: the batch table
+// must answer the kernel's zero-run queries unchanged.
+func TestCompileBatchKeepsZeroRuns(t *testing.T) {
+	at, err := CompileVector(Vector{Prefix: []float64{0, 0, 1, 0}, Tail: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := CompileBatch(at)
+	for i := 0; i <= 8; i++ {
+		if b.ZeroRunFrom(i) != at.ZeroRunFrom(i) {
+			t.Errorf("state %d: batch ZeroRunFrom %d != table %d", i, b.ZeroRunFrom(i), at.ZeroRunFrom(i))
+		}
+	}
+}

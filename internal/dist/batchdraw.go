@@ -1,0 +1,99 @@
+package dist
+
+import (
+	"math"
+
+	"eventcap/internal/rng"
+)
+
+// SampleBernoulliBatch fills out with len(out) exchangeable Bernoulli(p)
+// indicators and returns how many are set. Instead of len(out) uniform
+// draws it makes one Binomial(len(out), p) count draw (SampleBinomial)
+// and then places the successes with Floyd's k-subset algorithm — k
+// further draws — so the RNG cost is O(count), not O(len(out)).
+//
+// The joint law matches independent per-position draws exactly: the count
+// is Binomial(n, p) and, conditioned on the count, every k-subset of
+// positions is equally likely, which is the defining exchangeability of
+// iid indicators. The per-position sequences differ from sequential
+// draws, so callers that promise byte-identical replay against a
+// per-slot engine must not mix the two on one stream; batch engines use
+// this only where the count alone feeds downstream state.
+//
+// The output is deterministic for a fixed src state and allocates
+// nothing. Values of p outside [0, 1] are clamped.
+func SampleBernoulliBatch(src *rng.Source, p float64, out []bool) int64 {
+	n := int64(len(out))
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 || math.IsNaN(p) {
+		for i := range out {
+			out[i] = false
+		}
+		return 0
+	}
+	if p >= 1 {
+		for i := range out {
+			out[i] = true
+		}
+		return n
+	}
+	k := SampleBinomial(src, n, p)
+	assignSubset(src, k, out)
+	return k
+}
+
+// SampleBatch is SampleBernoulliBatch drawing its count through the
+// table: within the precomputed range the count costs one uniform and a
+// binary search, beyond it SampleBinomial takes over. The joint law and
+// determinism contract are identical to SampleBernoulliBatch.
+func (t *BinomialTable) SampleBatch(src *rng.Source, out []bool) int64 {
+	n := int64(len(out))
+	if n == 0 {
+		return 0
+	}
+	if !(t.p > 0) {
+		for i := range out {
+			out[i] = false
+		}
+		return 0
+	}
+	if t.p >= 1 {
+		for i := range out {
+			out[i] = true
+		}
+		return n
+	}
+	k := t.Sample(src, n)
+	assignSubset(src, k, out)
+	return k
+}
+
+// assignSubset zeroes out and marks a uniformly random k-subset of its
+// positions via Floyd's algorithm: the j-th step picks a slot in [0, j]
+// and, on collision with an already-chosen slot, takes j itself — each
+// k-subset ends up with probability 1/C(n, k) using exactly k draws.
+func assignSubset(src *rng.Source, k int64, out []bool) {
+	for i := range out {
+		out[i] = false
+	}
+	n := int64(len(out))
+	if k <= 0 {
+		return
+	}
+	if k >= n {
+		for i := range out {
+			out[i] = true
+		}
+		return
+	}
+	for j := n - k; j < n; j++ {
+		t := src.Uint64n(uint64(j + 1))
+		if out[t] {
+			out[j] = true
+		} else {
+			out[t] = true
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"eventcap/internal/rng"
+)
+
+// TestSampleBernoulliBatchBasics pins the deterministic invariants on a
+// few fixed inputs (the fuzz target below explores the space).
+func TestSampleBernoulliBatchBasics(t *testing.T) {
+	out := make([]bool, 64)
+	if k := SampleBernoulliBatch(rng.New(1, 1), 0, out); k != 0 {
+		t.Errorf("p=0 produced %d successes", k)
+	}
+	for i, v := range out {
+		if v {
+			t.Fatalf("p=0 left position %d set", i)
+		}
+	}
+	if k := SampleBernoulliBatch(rng.New(1, 1), 1, out); k != 64 {
+		t.Errorf("p=1 produced %d successes, want 64", k)
+	}
+	for i, v := range out {
+		if !v {
+			t.Fatalf("p=1 left position %d clear", i)
+		}
+	}
+	if k := SampleBernoulliBatch(rng.New(1, 1), 0.5, nil); k != 0 {
+		t.Errorf("empty batch produced %d successes", k)
+	}
+}
+
+// FuzzSampleBernoulliBatch is the batch-vs-sequential equivalence
+// harness: a batched draw must be a pure function of the source state,
+// internally consistent (returned count == set positions), and
+// distributed like len(out) independent per-slot Bernoulli draws — the
+// count mean must track n·p as tightly as a sequential per-slot sampler's
+// does, and each position must be hit with frequency p (exchangeability:
+// Floyd's assignment cannot favor any slot). Every input is
+// deterministic, so a bound violation is a sampler bug, not flake.
+func FuzzSampleBernoulliBatch(f *testing.F) {
+	f.Add(uint64(1), 16, 0.3)
+	f.Add(uint64(2), 1, 0.5)
+	f.Add(uint64(3), 64, 0.001) // near-empty subsets
+	f.Add(uint64(4), 64, 0.999) // near-full subsets
+	f.Add(uint64(5), 48, 0.0)   // degenerate p = 0
+	f.Add(uint64(6), 48, 1.0)   // degenerate p = 1
+	f.Add(uint64(7), 0, 0.5)    // empty batch
+	f.Add(uint64(8), 32, math.NaN())
+	f.Add(uint64(9), 2048, 0.25) // count via mode inversion
+	f.Fuzz(func(t *testing.T, seed uint64, n int, p float64) {
+		if n < 0 {
+			n = -n
+		}
+		n %= 1 << 12
+
+		out := make([]bool, n)
+		k := SampleBernoulliBatch(rng.New(seed, 0xba7c), p, out)
+		redo := make([]bool, n)
+		k2 := SampleBernoulliBatch(rng.New(seed, 0xba7c), p, redo)
+		if k != k2 {
+			t.Fatalf("count not deterministic: %d vs %d", k, k2)
+		}
+		var pop int64
+		for i := range out {
+			if out[i] != redo[i] {
+				t.Fatalf("assignment not deterministic at position %d", i)
+			}
+			if out[i] {
+				pop++
+			}
+		}
+		if pop != k {
+			t.Fatalf("returned count %d but %d positions set", k, pop)
+		}
+		if k < 0 || k > int64(n) {
+			t.Fatalf("count %d outside [0, %d]", k, n)
+		}
+		switch {
+		case n == 0 || p <= 0 || math.IsNaN(p):
+			if k != 0 {
+				t.Fatalf("degenerate (n=%d, p=%g) must yield 0, got %d", n, p, k)
+			}
+		case p >= 1:
+			if k != int64(n) {
+				t.Fatalf("sure success (n=%d, p=%g) must yield n, got %d", n, p, k)
+			}
+		}
+
+		if !(p > 0) || p >= 1 || n < 1 || n > 256 {
+			return
+		}
+
+		// Table-backed variant: same invariants through BinomialTable.
+		tbl := NewBinomialTable(p, n)
+		tblOut := make([]bool, n)
+		tk := tbl.SampleBatch(rng.New(seed, 0x7ab1e), tblOut)
+		var tpop int64
+		for _, v := range tblOut {
+			if v {
+				tpop++
+			}
+		}
+		if tpop != tk || tk < 0 || tk > int64(n) {
+			t.Fatalf("table batch inconsistent: count %d, %d set", tk, tpop)
+		}
+
+		if n > 64 {
+			return
+		}
+
+		// Moment equivalence, batch vs sequential: across m rounds the
+		// batch count mean and the per-slot sequential sum mean must both
+		// sit within a 12-sigma CLT band of n·p, and every position's hit
+		// frequency within the same band of p.
+		const m = 512
+		var sumBatch, sumSeq float64
+		hits := make([]float64, n)
+		bSrc := rng.New(seed, 0x5a)
+		sSrc := rng.New(seed, 0x7b)
+		for i := 0; i < m; i++ {
+			c := SampleBernoulliBatch(bSrc, p, out)
+			sumBatch += float64(c)
+			for j := range out {
+				if out[j] {
+					hits[j]++
+				}
+			}
+			var seq int64
+			for j := 0; j < n; j++ {
+				if sSrc.Bernoulli(p) {
+					seq++
+				}
+			}
+			sumSeq += float64(seq)
+		}
+		mean := float64(n) * p
+		sigma := math.Sqrt(float64(n) * p * (1 - p))
+		tol := 12*sigma/math.Sqrt(m) + 1e-9
+		if d := math.Abs(sumBatch/m - mean); d > tol {
+			t.Fatalf("batch count mean drifted: |%g - %g| = %g > %g (n=%d, p=%g)", sumBatch/m, mean, d, tol, n, p)
+		}
+		if d := math.Abs(sumSeq/m - mean); d > tol {
+			t.Fatalf("sequential mean drifted: |%g - %g| = %g > %g (n=%d, p=%g)", sumSeq/m, mean, d, tol, n, p)
+		}
+		posTol := 12*math.Sqrt(p*(1-p))/math.Sqrt(m) + 1e-9
+		for j, h := range hits {
+			if d := math.Abs(h/m - p); d > posTol {
+				t.Fatalf("position %d hit frequency drifted: |%g - %g| = %g > %g (n=%d)", j, h/m, p, d, posTol, n)
+			}
+		}
+	})
+}

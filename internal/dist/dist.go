@@ -131,8 +131,14 @@ func SurvivalSum(d Interarrival, from, to int) float64 {
 // sampleByInversion draws X by inverting the continuous CDF and rounding
 // up, realizing the discretized law α_i = F(i) − F(i−1).
 func sampleByInversion(quantile func(float64) float64, src *rng.Source) int {
-	u := src.Float64()
-	x := quantile(u)
+	return ceilGap(quantile(src.Float64()))
+}
+
+// ceilGap is the slotting step shared by every inversion sampler: round
+// the continuous variate up to a whole slot, clamped to >= 1. SampleU
+// implementations must apply exactly this rounding so QuantileTable's
+// bisection reproduces Sample bit for bit.
+func ceilGap(x float64) int {
 	i := int(math.Ceil(x))
 	if i < 1 {
 		i = 1

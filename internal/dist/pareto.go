@@ -128,10 +128,17 @@ func (p *Pareto) SurvivalSumFrom(from int) float64 {
 
 // Sample draws by inversion: ceil(xm / (1−u)^{1/α}).
 func (p *Pareto) Sample(src *rng.Source) int {
-	return sampleByInversion(func(u float64) float64 {
-		return p.xm / math.Pow(1-u, 1/p.alpha)
-	}, src)
+	return p.SampleU(src.Float64())
 }
+
+// SampleU implements InverseSampler: the deterministic u → gap map behind
+// Sample. (1−u)^{1/α} is decreasing in u, so the quotient — and the map —
+// is nondecreasing, as the InverseSampler contract requires.
+func (p *Pareto) SampleU(u float64) int {
+	return ceilGap(p.xm / math.Pow(1-u, 1/p.alpha))
+}
+
+var _ InverseSampler = (*Pareto)(nil)
 
 // Name implements Interarrival.
 func (p *Pareto) Name() string { return p.name }

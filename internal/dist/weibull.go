@@ -88,10 +88,17 @@ func (w *Weibull) Mean() float64 { return w.mean }
 
 // Sample draws an inter-arrival time via inversion: ceil(η1·(−ln u)^(1/η2)).
 func (w *Weibull) Sample(src *rng.Source) int {
-	return sampleByInversion(func(u float64) float64 {
-		return w.scale * math.Pow(-math.Log1p(-u), 1/w.shape)
-	}, src)
+	return w.SampleU(src.Float64())
 }
+
+// SampleU implements InverseSampler: the deterministic u → gap map behind
+// Sample. −log1p(−u) and the power are both nondecreasing in u, so the
+// map satisfies the InverseSampler monotonicity contract.
+func (w *Weibull) SampleU(u float64) int {
+	return ceilGap(w.scale * math.Pow(-math.Log1p(-u), 1/w.shape))
+}
+
+var _ InverseSampler = (*Weibull)(nil)
 
 // Name implements Interarrival.
 func (w *Weibull) Name() string { return w.name }

@@ -41,6 +41,24 @@ func NewBattery(capacity, initial float64) (*Battery, error) {
 	return &Battery{level: initial, capacity: capacity}, nil
 }
 
+// Reset restores the battery to a freshly constructed state with the same
+// capacity and the given initial level (clipped into [0, capacity]),
+// clearing every accumulator. Batch engines sweep one Battery value across
+// many replications with it instead of allocating per replication.
+func (b *Battery) Reset(initial float64) {
+	if initial < 0 {
+		initial = 0
+	}
+	if initial > b.capacity {
+		initial = b.capacity
+	}
+	b.level = initial
+	b.overflowLost = 0
+	b.denied = 0
+	b.consumed = 0
+	b.received = 0
+}
+
 // Level returns the current energy level.
 func (b *Battery) Level() float64 { return b.level }
 
@@ -137,6 +155,39 @@ func (b *Battery) RechargeN(amount float64, n int64) bool {
 	}
 	b.overflowLost += total - headroom
 	b.level = b.capacity
+	return true
+}
+
+// ConsumeN applies n consecutive successful Consume(amount) calls in
+// O(1). It is the drain-side mirror of RechargeN and makes the same
+// promise: true means the closed form provably rounds identically to the
+// sequential loop; false leaves the battery untouched and callers fall
+// back to iterating. Unlike Consume it never records denials — callers
+// must have established level >= n·amount (exactly, on the grid) before
+// batching, which the grid checks here re-verify: off-grid values, an
+// insufficient level, or magnitudes near the exactness bound all reject.
+func (b *Battery) ConsumeN(amount float64, n int64) bool {
+	if n <= 0 {
+		return true
+	}
+	if amount < 0 {
+		return false
+	}
+	if amount == 0 {
+		// Consume(0) always succeeds and moves nothing; the accumulators
+		// add exact zeros.
+		return true
+	}
+	total := amount * float64(n)
+	if float64(n) > gridMax ||
+		!onRechargeGrid(amount) || !onRechargeGrid(b.level) ||
+		!onRechargeGrid(b.consumed) ||
+		!onRechargeGrid(total) || b.consumed+total > gridMax ||
+		b.level < total {
+		return false
+	}
+	b.level -= total
+	b.consumed += total
 	return true
 }
 

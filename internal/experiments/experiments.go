@@ -38,6 +38,12 @@ type Options struct {
 	// are unchanged (tracing is RNG-neutral and results are
 	// worker-invariant).
 	Tracer *trace.Tracer
+	// Batch, when > 1, runs every simulation as B independent
+	// replications at seeds Seed..Seed+B-1 and aggregates (the batch
+	// engine when eligible, sequential per-replication runs otherwise).
+	// Sweep points then report replication-averaged QoM rather than a
+	// single trajectory.
+	Batch int
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +71,9 @@ func (o Options) withDefaults() Options {
 func runSim(opts Options, cfg sim.Config) (*sim.Result, error) {
 	cfg.Metrics = true
 	cfg.Tracer = opts.Tracer
+	if opts.Batch > 1 {
+		cfg.Batch = opts.Batch
+	}
 	return sim.Run(cfg)
 }
 

@@ -258,6 +258,7 @@ var (
 	// Engine selection: how many sim.Run calls executed on each engine.
 	SimRunsKernel    = NewCounter("sim.runs.kernel")
 	SimRunsReference = NewCounter("sim.runs.reference")
+	SimRunsBatch     = NewCounter("sim.runs.batch")
 
 	// Per-run metric totals, accumulated by sim.Run when metrics
 	// collection is enabled (see sim.Metrics for the definitions).

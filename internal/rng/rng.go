@@ -44,6 +44,16 @@ func New(seed, stream uint64) *Source {
 	return s
 }
 
+// Reseed reinitializes s in place to the sequence New(seed, stream)
+// produces, discarding any prior state. It exists for batch engines that
+// sweep one Source value across many replication roots without allocating
+// per replication. Like New, every call site creates a fresh root stream,
+// so the seedflow analyzer audits Reseed calls on simulation paths exactly
+// as it audits New.
+func (s *Source) Reseed(seed, stream uint64) {
+	s.reseed(seed, stream)
+}
+
 func (s *Source) reseed(seed, stream uint64) {
 	// The increment must be odd; fold the stream id into both halves.
 	s.incHi = splitmix(stream)
@@ -89,8 +99,16 @@ func (s *Source) Uint64() uint64 {
 // output is unaffected except for consuming one draw per call.
 func (s *Source) Split(id uint64) *Source {
 	child := &Source{}
-	child.reseed(s.Uint64(), splitmix(id)^incrementSalt)
+	s.SplitInto(child, id)
 	return child
+}
+
+// SplitInto writes the child Split(id) would return into child instead of
+// allocating, consuming one draw from s exactly as Split does. child may
+// be any Source value, including a previously used one; its prior state is
+// discarded.
+func (s *Source) SplitInto(child *Source, id uint64) {
+	child.reseed(s.Uint64(), splitmix(id)^incrementSalt)
 }
 
 // Float64 returns a uniform value in [0, 1) with 53 bits of precision.

@@ -1,0 +1,495 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"eventcap/internal/core"
+	"eventcap/internal/dist"
+	"eventcap/internal/energy"
+	"eventcap/internal/parallel"
+	"eventcap/internal/rng"
+)
+
+// The mega-batch engine simulates Config.Batch statistically independent
+// replications of one compiled single-sensor configuration in a single
+// call, sharing everything a replication does not own: the activation
+// table with its zero/one runs, the event distribution's quantile table,
+// and the Bernoulli recharge's binomial tables are built once and read by
+// every replication; per-replication state (RNG sources, the battery, a
+// stateful recharge's phase) lives in a fixed set of values reset in
+// place, so the steady-state loop allocates nothing per replication.
+//
+// Determinism contract: replication r's random streams derive solely from
+// Config.Seed + r, laid out exactly as the kernel lays out a run at that
+// seed (root Reseed(Seed+r, 0x5eed), then event Split(1), decision
+// Split(2), recharge Split(100)). Replication r therefore reproduces the
+// run this Config would produce at Seed + r: byte-identically when the
+// kernel itself would be byte-deterministic on that configuration
+// (deterministic recharge, or any recharge with Metrics on, which
+// disables the batched awake runs below), and equal in law otherwise —
+// the same clause the kernel's sleep fast-forward already carries. The
+// chunk sharding and worker count never touch the streams, so results
+// are byte-identical across every Workers/BatchChunk setting.
+
+// defaultBatchChunk is the replications-per-chunk sharding default: large
+// enough to amortize per-chunk state (battery, recharge instance, RNG
+// values) across many replications, small enough that a 10⁵-replication
+// batch still spreads across a worker pool.
+const defaultBatchChunk = 1024
+
+// batchPlan is a validated, instantiated batch configuration: the kernel
+// plan plus the batch-only shared tables.
+type batchPlan struct {
+	kernel *kernelPlan
+	table  *core.BatchTable
+	// quant replaces Dist.Sample's per-gap transcendentals with an exact
+	// threshold lookup when the distribution exposes its inversion map
+	// (dist.InverseSampler); nil otherwise, falling back to Dist.Sample.
+	quant *dist.QuantileTable
+}
+
+// resettable matches per-run state that can be restored in place
+// (energy.Periodic's phase); stateless processes don't implement it.
+type resettable interface{ Reset() }
+
+// compileBatch probes whether cfg (already validated) can run on the
+// batch engine. It returns the plan, or nil and a human-readable reason
+// for the fallback. Eligibility is the kernel's plus two batch-only
+// conditions: no slot tracer (the engine reports aggregates, never slot
+// records), and a recharge process whose per-run state — if any — can be
+// reset between replications.
+func compileBatch(cfg *Config) (*batchPlan, string) {
+	if cfg.Tracer != nil {
+		return nil, "slot tracing requested"
+	}
+	kp, reason := compileKernel(cfg)
+	if kp == nil {
+		return nil, reason
+	}
+	if _, ok := kp.recharge.(resettable); !ok {
+		switch kp.recharge.(type) {
+		case *energy.Bernoulli, *energy.Constant:
+			// Stateless: safe to start every replication on as-is.
+		default:
+			return nil, fmt.Sprintf("recharge %s carries per-run state without Reset", kp.recharge.Name())
+		}
+	}
+	plan := &batchPlan{kernel: kp, table: core.CompileBatch(kp.table)}
+	if s := dist.AsInverseSampler(cfg.Dist); s != nil {
+		plan.quant = dist.NewQuantileTable(s)
+	}
+	return plan, ""
+}
+
+// runBatch executes the batch: replications are sharded into chunks of
+// Config.BatchChunk and the chunks mapped across the worker pool; each
+// chunk owns one batchWorker whose state is reset per replication.
+func runBatch(cfg Config, plan *batchPlan) (*Result, error) {
+	reps := cfg.Batch
+	if reps < 1 {
+		reps = 1
+	}
+	chunk := cfg.BatchChunk
+	if chunk < 1 {
+		chunk = defaultBatchChunk
+	}
+	numChunks := (reps + chunk - 1) / chunk
+	plan.kernel.policy.Reset()
+
+	res := &Result{Slots: cfg.Slots, Sensors: make([]SensorStats, reps), Engine: EngineBatch}
+	sensors := res.Sensors
+
+	type chunkOut struct {
+		events, captures int64
+		m                *Metrics
+	}
+	outs, err := parallel.Map(cfg.Workers, numChunks, func(ci int) (chunkOut, error) {
+		w, err := newBatchWorker(&cfg, plan)
+		if err != nil {
+			return chunkOut{}, err
+		}
+		var out chunkOut
+		if cfg.Metrics {
+			out.m = &Metrics{}
+		}
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > reps {
+			hi = reps
+		}
+		for r := lo; r < hi; r++ {
+			ev, cp := w.simulate(&cfg, plan, uint64(r), &sensors[r], out.m, r == 0)
+			out.events += ev
+			out.captures += cp
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var m *Metrics
+	if cfg.Metrics {
+		m = &Metrics{}
+		res.Metrics = m
+	}
+	for _, o := range outs {
+		res.Events += o.events
+		res.Captures += o.captures
+		if m != nil {
+			// Only replication 0's chunk carries battery-occupancy
+			// observations, so a plain Merge preserves the replication-0
+			// occupancy convention (see Metrics.mergeReplica).
+			m.Merge(o.m)
+		}
+	}
+	if res.Events > 0 {
+		res.QoM = float64(res.Captures) / float64(res.Events)
+	}
+	recordEngine(res.Engine)
+	if m != nil {
+		m.publish(res)
+	}
+	return res, nil
+}
+
+// batchWorker is one chunk's replication state: RNG values reseeded in
+// place per replication, one battery reset per replication, and the
+// chunk's recharge process (the plan's shared instance when stateless, a
+// fresh per-chunk instance reset per replication otherwise).
+type batchWorker struct {
+	root, eventSrc, decisionSrc, rechargeSrc rng.Source
+
+	battery *energy.Battery
+	rech    energy.FastForwarder
+	rechRst resettable // non-nil iff the chunk owns a stateful recharge
+
+	bern         *energy.Bernoulli
+	isBern       bool
+	bernQ, bernC float64
+}
+
+func newBatchWorker(cfg *Config, plan *batchPlan) (*batchWorker, error) {
+	w := &batchWorker{}
+	b, err := energy.NewBattery(cfg.BatteryCap, cfg.InitialBattery)
+	if err != nil {
+		return nil, err
+	}
+	w.battery = b
+	w.rech = plan.kernel.recharge
+	if _, stateful := w.rech.(resettable); stateful {
+		// Chunks run concurrently, so each owns a fresh instance of a
+		// stateful process, reset before every replication.
+		fresh, ok := cfg.NewRecharge().(energy.FastForwarder)
+		if !ok {
+			return nil, fmt.Errorf("sim: recharge factory stopped producing fast-forwardable processes")
+		}
+		if prep, ok := fresh.(energy.FastForwardPreparer); ok {
+			prep.PrepareFastForward(prepareRunLength)
+		}
+		w.rech = fresh
+		w.rechRst, _ = fresh.(resettable)
+	}
+	if bern, ok := w.rech.(*energy.Bernoulli); ok {
+		w.bern = bern
+		w.isBern = true
+		w.bernQ, w.bernC = bern.Q(), bern.C()
+	}
+	return w, nil
+}
+
+// simulate runs one replication, returning its event and capture counts.
+// The loop is the kernel's (runKernel) minus tracing, plus the two batch
+// accelerations: quantile-table event sampling (byte-identical to
+// Dist.Sample by the InverseSampler contract) and closed-form awake runs
+// (equal in law; disabled whenever m != nil so instrumented replications
+// consume their streams exactly as the kernel would). observe enables
+// battery-occupancy sampling, which batch Metrics define on replication 0
+// only.
+func (w *batchWorker) simulate(cfg *Config, plan *batchPlan, rep uint64, stats *SensorStats, m *Metrics, observe bool) (events, captures int64) {
+	w.root.Reseed(cfg.Seed+rep, 0x5eed) // seedflow:ok replication-root: rep r must equal the kernel's root at Seed+r
+	w.root.SplitInto(&w.eventSrc, 1)
+	w.root.SplitInto(&w.decisionSrc, 2)
+	w.root.SplitInto(&w.rechargeSrc, 100)
+	w.battery.Reset(cfg.InitialBattery)
+	if w.rechRst != nil {
+		w.rechRst.Reset()
+	}
+
+	table := plan.table
+	quant := plan.quant
+	d := cfg.Dist
+	battery := w.battery
+	rech := w.rech
+	state := plan.kernel.state
+	modulus := plan.kernel.modulus
+	cost := cfg.Params.ActivationCost()
+	delta1, delta2 := cfg.Params.Delta1, cfg.Params.Delta2
+	isBern, bernQ, bernC := w.isBern, w.bernQ, w.bernC
+	// Awake-run batching draws one recharge count per run instead of one
+	// Bernoulli per slot, so it is off whenever metrics are on — an
+	// instrumented replication must consume its streams exactly as the
+	// kernel at Seed + rep would.
+	oneRuns := m == nil && isBern
+
+	invCap := 1 / cfg.BatteryCap
+	binScale := batteryBins * invCap
+	costGate := cost - 1e-12
+	var obsSlots, outage int64
+	var fracSum float64
+	sampleCountdown := int64(math.MaxInt64)
+	if m != nil && observe {
+		sampleCountdown = batterySampleStride
+	}
+
+	var activations, denied int64
+
+	// The paper assumes an event (and capture) at slot 0.
+	lastEvent, lastCapture := int64(0), int64(0)
+	var nextEvent int64
+	if quant != nil {
+		nextEvent = int64(quant.Sample(&w.eventSrc))
+	} else {
+		nextEvent = int64(d.Sample(&w.eventSrc))
+	}
+
+	t := int64(1)
+	for t <= cfg.Slots {
+		var st int64
+		switch state {
+		case StateSinceEvent:
+			st = t - lastEvent
+		case StateSinceCapture:
+			st = t - lastCapture
+		default:
+			st = (t-1)%modulus + 1
+		}
+
+		if z := table.ZeroRunFrom(int(st)); z > 0 {
+			// Sleep run, exactly as the kernel executes it.
+			n := z
+			if state == StateSlotPhase {
+				if wrap := modulus - st + 1; n > wrap {
+					n = wrap
+				}
+			}
+			if left := cfg.Slots - t + 1; n > left {
+				n = left
+			}
+			eventsBefore := events
+			if state == StateSinceEvent && nextEvent-t+1 <= n {
+				n = nextEvent - t + 1
+				rech.FastForward(battery, n, &w.rechargeSrc)
+				events++
+				lastEvent = nextEvent
+				if quant != nil {
+					nextEvent += int64(quant.Sample(&w.eventSrc))
+				} else {
+					nextEvent += int64(d.Sample(&w.eventSrc))
+				}
+			} else {
+				rech.FastForward(battery, n, &w.rechargeSrc)
+				end := t + n - 1
+				for nextEvent <= end {
+					events++
+					lastEvent = nextEvent
+					if quant != nil {
+						nextEvent += int64(quant.Sample(&w.eventSrc))
+					} else {
+						nextEvent += int64(d.Sample(&w.eventSrc))
+					}
+				}
+			}
+			if m != nil {
+				m.KernelRuns++
+				m.KernelSlotsFastForwarded += n
+				m.MissAsleep += events - eventsBefore
+			}
+			t += n
+			continue
+		}
+
+		if oneRuns {
+			if o := table.OneRunFrom(int(st)); o > 1 {
+				// Certain-activation run: Bernoulli(p >= 1) consumes no
+				// decision draws, so until the next event the slots are a
+				// pure recharge/consume stream the battery can absorb in
+				// closed form.
+				n := o
+				if state == StateSlotPhase {
+					if wrap := modulus - st + 1; n > wrap {
+						n = wrap
+					}
+				}
+				if gap := nextEvent - t; n > gap {
+					// The event slot mutates state (capture, h/f reset),
+					// so the run stops just before it.
+					n = gap
+				}
+				if left := cfg.Slots - t + 1; n > left {
+					n = left
+				}
+				if n > 1 && w.awakeRun(n, cost, delta1) {
+					activations += n
+					t += n
+					continue
+				}
+			}
+		}
+
+		// Awake slot: replicate the kernel's slot exactly.
+		if isBern {
+			if w.rechargeSrc.Bernoulli(bernQ) {
+				battery.Recharge(bernC)
+			}
+		} else {
+			battery.Recharge(rech.Next(&w.rechargeSrc))
+		}
+		event := t == nextEvent
+		p := table.At(int(st))
+		capturedHere, deniedHere := false, false
+		if w.decisionSrc.Bernoulli(p) {
+			if !battery.CanConsume(cost) {
+				denied++
+				deniedHere = true
+			} else {
+				battery.Consume(delta1)
+				activations++
+				if event {
+					battery.Consume(delta2)
+					captures++
+					lastCapture = t
+					capturedHere = true
+				}
+			}
+		}
+		if event {
+			events++
+			lastEvent = t
+			if quant != nil {
+				nextEvent = t + int64(quant.Sample(&w.eventSrc))
+			} else {
+				nextEvent = t + int64(d.Sample(&w.eventSrc))
+			}
+			if m != nil && !capturedHere {
+				if deniedHere {
+					m.MissNoEnergy++
+				} else {
+					m.MissAsleep++
+				}
+			}
+		}
+		sampleCountdown--
+		if sampleCountdown == 0 {
+			sampleCountdown = batterySampleStride
+			lvl := battery.Level()
+			obsSlots++
+			fracSum += lvl * invCap
+			bin := int(lvl * binScale)
+			if bin >= batteryBins {
+				bin = batteryBins - 1
+			}
+			m.BatteryHist[bin]++
+			if lvl < costGate {
+				outage++
+			}
+		}
+		t++
+	}
+
+	stats.Activations = activations
+	stats.Captures = captures
+	stats.Denied = denied
+	stats.EnergyConsumed = battery.Consumed()
+	stats.OverflowLost = battery.OverflowLost()
+	stats.FinalBattery = battery.Level()
+	if m != nil {
+		m.ObservedSlots += obsSlots
+		m.BatteryFracSum += fracSum
+		m.EnergyOutageSlots += outage
+		// An activation on an event slot always captures, so wasted
+		// (no-event) activations are exactly activations − captures.
+		m.WastedActivations += activations - captures
+	}
+	return events, captures
+}
+
+// awakeRun applies n consecutive certain-activation, no-event slots in
+// O(1): one binomial recharge count plus closed-form battery moves. It
+// succeeds only when no slot in the stretch could hit the energy gate or
+// the capacity clip regardless of how deliveries and consumptions
+// interleave — then the final level is order-independent and batching the
+// recharges before the consumptions reproduces the per-slot outcome. The
+// caller falls back to per-slot execution when a guard fails.
+func (w *batchWorker) awakeRun(n int64, cost, delta1 float64) bool {
+	lvl := w.battery.Level()
+	// Gate worst case: every consumption lands before any delivery, so
+	// slot j starts at lvl − j·δ1 and the last must still afford cost.
+	if lvl-float64(n-1)*delta1 < cost {
+		return false
+	}
+	// Clip worst case: every delivery lands before any consumption.
+	if lvl+float64(n)*w.bernC > w.battery.Capacity() {
+		return false
+	}
+	w.bern.FastForward(w.battery, n, &w.rechargeSrc)
+	if !w.battery.ConsumeN(delta1, n) {
+		// Off the exactness grid: apply the consumptions one by one (the
+		// guards still hold, so none is denied).
+		for i := int64(0); i < n; i++ {
+			w.battery.Consume(delta1)
+		}
+	}
+	return true
+}
+
+// runBatchFallback aggregates cfg.Batch replications through the per-run
+// engines when the batch engine is ineligible or a per-run engine is
+// forced: replication r reruns the configuration at Seed + r with Batch
+// cleared, preserving the batch engine's seed pairing so results stay
+// comparable across engines. Replications run sequentially — the per-run
+// engines parallelize internally where profitable, and the trace hooks
+// (handed to replication 0 only, like Timeline) are single-stream
+// consumers. Each inner run publishes its own observability totals;
+// the aggregate does not publish again.
+func runBatchFallback(cfg Config) (*Result, error) {
+	reps := cfg.Batch
+	res := &Result{Slots: cfg.Slots}
+	var m *Metrics
+	if cfg.Metrics {
+		m = &Metrics{}
+		res.Metrics = m
+	}
+	for r := 0; r < reps; r++ {
+		sub := cfg
+		sub.Batch = 0
+		sub.BatchChunk = 0
+		sub.Seed = cfg.Seed + uint64(r)
+		if r > 0 {
+			sub.Trace = nil
+			sub.Tracer = nil
+			sub.SampleEvery = 0
+		}
+		rr, err := Run(sub)
+		if err != nil {
+			return nil, fmt.Errorf("sim: batch replication %d: %w", r, err)
+		}
+		res.Events += rr.Events
+		res.Captures += rr.Captures
+		res.Sensors = append(res.Sensors, rr.Sensors...)
+		if r == 0 {
+			res.Engine = rr.Engine
+			res.Timeline = rr.Timeline
+			if m != nil {
+				*m = *rr.Metrics
+			}
+		} else if m != nil {
+			m.mergeReplica(rr.Metrics)
+		}
+	}
+	if res.Events > 0 {
+		res.QoM = float64(res.Captures) / float64(res.Events)
+	}
+	return res, nil
+}

@@ -22,6 +22,11 @@ const (
 	// EngineKernel forces the compiled kernel; Run fails when the
 	// configuration is ineligible.
 	EngineKernel
+	// EngineBatch forces the mega-batch engine (Config.Batch replications
+	// of a compiled single-sensor configuration in one call); Run fails
+	// when the configuration is ineligible. EngineAuto picks it on its own
+	// whenever Batch > 1 and the configuration compiles.
+	EngineBatch
 )
 
 // ParseEngine maps the -kernel flag values onto engines.
@@ -33,8 +38,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineKernel, nil
 	case "off":
 		return EngineReference, nil
+	case "batch":
+		return EngineBatch, nil
 	}
-	return 0, fmt.Errorf("sim: unknown engine %q (want auto, on, or off)", s)
+	return 0, fmt.Errorf("sim: unknown engine %q (want auto, on, off, or batch)", s)
 }
 
 // String implements fmt.Stringer.
@@ -44,6 +51,8 @@ func (e Engine) String() string {
 		return "reference"
 	case EngineKernel:
 		return "kernel"
+	case EngineBatch:
+		return "batch"
 	default:
 		return "auto"
 	}

@@ -218,7 +218,7 @@ func TestKernelForcedRejectsIneligible(t *testing.T) {
 
 // TestParseEngine covers the flag mapping.
 func TestParseEngine(t *testing.T) {
-	for in, want := range map[string]Engine{"auto": EngineAuto, "on": EngineKernel, "off": EngineReference} {
+	for in, want := range map[string]Engine{"auto": EngineAuto, "on": EngineKernel, "off": EngineReference, "batch": EngineBatch} {
 		got, err := ParseEngine(in)
 		if err != nil || got != want {
 			t.Errorf("ParseEngine(%q) = %v, %v", in, got, err)

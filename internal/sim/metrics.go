@@ -120,6 +120,20 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.KernelSlotsFastForwarded += o.KernelSlotsFastForwarded
 }
 
+// mergeReplica folds a later replication's Metrics into a batch
+// aggregate: the event-class and kernel counters sum across replications,
+// while the battery-occupancy fields (ObservedSlots, BatteryFracSum,
+// BatteryHist, EnergyOutageSlots) stay replication 0's — batch results
+// define occupancy on replication 0 only, mirroring the multi-sensor
+// engines' sensor-0 convention.
+func (m *Metrics) mergeReplica(o *Metrics) {
+	m.MissAsleep += o.MissAsleep
+	m.MissNoEnergy += o.MissNoEnergy
+	m.WastedActivations += o.WastedActivations
+	m.KernelRuns += o.KernelRuns
+	m.KernelSlotsFastForwarded += o.KernelSlotsFastForwarded
+}
+
 // publish folds the completed run into the process-wide totals that
 // cmd/experiments snapshots into run manifests. Called once per run,
 // outside the slot loop.
@@ -141,9 +155,12 @@ func (m *Metrics) publish(res *Result) {
 
 // recordEngine counts which engine actually executed a run.
 func recordEngine(e Engine) {
-	if e == EngineKernel {
+	switch e {
+	case EngineKernel:
 		obs.SimRunsKernel.Inc()
-	} else {
+	case EngineBatch:
+		obs.SimRunsBatch.Inc()
+	default:
 		obs.SimRunsReference.Inc()
 	}
 }

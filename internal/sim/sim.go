@@ -252,6 +252,24 @@ type Config struct {
 	// the reference engine otherwise. See kernel.go for the equivalence
 	// contract.
 	Engine Engine
+
+	// Batch, when > 1, simulates that many statistically independent
+	// replications of this (single-sensor) configuration in one call:
+	// replication r reproduces the run this Config would produce at
+	// Seed + r, and the Result aggregates all replications (summed
+	// Events/Captures, pooled QoM, one SensorStats entry per
+	// replication). Under EngineAuto an eligible configuration runs on
+	// the mega-batch engine (see batch.go); otherwise — or under a forced
+	// per-run engine — the replications run individually and are
+	// aggregated. Batch <= 1 leaves the single-run semantics untouched.
+	Batch int
+
+	// BatchChunk overrides the batch engine's replications-per-chunk
+	// sharding (0 = default). Chunks are the unit of worker parallelism
+	// and of state reuse; results are byte-identical for every value —
+	// replication streams derive from Seed + r alone, never from the
+	// sharding.
+	BatchChunk int
 }
 
 func (c *Config) validate() error {
@@ -291,6 +309,12 @@ func (c *Config) validate() error {
 	if c.Info == 0 {
 		c.Info = FullInfo
 	}
+	if c.Batch < 0 {
+		return fmt.Errorf("sim: Batch must be >= 0, got %d", c.Batch)
+	}
+	if c.BatchChunk < 0 {
+		return fmt.Errorf("sim: BatchChunk must be >= 0, got %d", c.BatchChunk)
+	}
 	return nil
 }
 
@@ -323,6 +347,21 @@ func (c *Config) independentSensors() bool {
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Engine == EngineBatch {
+		plan, reason := compileBatch(&cfg)
+		if plan == nil {
+			return nil, fmt.Errorf("sim: batch engine unavailable: %s", reason)
+		}
+		return runBatch(cfg, plan)
+	}
+	if cfg.Batch > 1 {
+		if cfg.Engine == EngineAuto {
+			if plan, _ := compileBatch(&cfg); plan != nil {
+				return runBatch(cfg, plan)
+			}
+		}
+		return runBatchFallback(cfg)
 	}
 	switch cfg.Engine {
 	case EngineKernel:
