@@ -1,15 +1,16 @@
 # Development targets. `make check` is the gate a change must pass:
 # vet + build + full test suite + the determinism/invariant lint suite
 # + race-enabled library tests + a one-iteration benchmark smoke to
-# catch bit-rot in the bench harness + the batch-engine speedup gate.
+# catch bit-rot in the bench harness + the batch-engine and fleet-kernel
+# speedup gates.
 
 GO ?= go
 
-.PHONY: all check vet build test lint fuzz-smoke race bench-smoke bench bench-batch bench-kernel-json bench-batch-json bench-obs-json bench-trace-json benchtraj trace-verify clean
+.PHONY: all check vet build test lint fuzz-smoke race bench-smoke bench bench-batch bench-multi bench-kernel-json bench-batch-json bench-multi-json bench-obs-json bench-trace-json benchtraj trace-verify clean
 
 all: check
 
-check: vet build test lint race bench-smoke bench-batch trace-verify benchtraj
+check: vet build test lint race bench-smoke bench-batch bench-multi trace-verify benchtraj
 
 vet:
 	$(GO) vet ./...
@@ -67,6 +68,15 @@ bench-batch:
 	mkdir -p batch-bench-artifact
 	BENCH_BATCH_JSON=batch-bench-artifact/BENCH_batch.json $(GO) test -run TestEmitBenchBatchJSON -count=1 -timeout 900s .
 
+# Fleet-kernel smoke: the gated BENCH_multi emitter — the >=3x speedup
+# gate (compiled fleet kernel vs the reference loop on the fig6-shaped
+# N=8 round-robin workload) plus the zero steady-state loop-allocation
+# check — writing into multi-bench-artifact/ (the CI artifact upload)
+# for the same reasons as bench-batch.
+bench-multi:
+	mkdir -p multi-bench-artifact
+	BENCH_MULTI_JSON=multi-bench-artifact/BENCH_multi.json $(GO) test -run TestEmitBenchMultiJSON -count=1 -timeout 900s .
+
 # End-to-end trace verification: run a traced kernel-heavy experiment
 # and replay the trace against its manifest with cmd/tracetool. The
 # trace-artifact/ directory doubles as the CI artifact upload.
@@ -92,6 +102,12 @@ bench-kernel-json:
 # kernel replications; same gate as bench-batch). Needs a quiet machine.
 bench-batch-json:
 	BENCH_BATCH_JSON=BENCH_batch.json $(GO) test -run TestEmitBenchBatchJSON -count=1 -timeout 900s -v .
+
+# Regenerate the committed BENCH_multi.json (fleet kernel vs reference
+# loop on the fig6-shaped workload; same gate as bench-multi). Needs a
+# quiet machine.
+bench-multi-json:
+	BENCH_MULTI_JSON=BENCH_multi.json $(GO) test -run TestEmitBenchMultiJSON -count=1 -timeout 900s -v .
 
 # Measure the cost of Config.Metrics on both engines, assert the ≤2%
 # budget of DESIGN.md §9, and regenerate BENCH_obs.json. Needs a quiet

@@ -21,6 +21,11 @@ func metrics(suffix string) {
 	// expvarname:ok fixture demonstrates a justified computed name
 	_ = obs.NewCounter("sim." + suffix)
 
+	// Engine-fallback reason counters follow the same dotted schema; the
+	// reason slug is the last segment.
+	_ = obs.NewCounter("sim.engine.fallback.mode") // quiet
+	_ = obs.NewCounter("sim.engine.fallback.Mode") // want `violates the eventcap schema`
+
 	// Flight-recorder dump reasons register a backing counter, so their
 	// names obey the same schema.
 	_ = trace.NewDumpReason("trace.dump.fixture")  // quiet

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"eventcap/internal/sim"
+)
+
+// TestReferenceEngineMatchesPrechangeFixtures pins the reference
+// engine's numbers for the multi-sensor experiments against CSV
+// fixtures captured before the fleet kernel landed (cmd/experiments
+// -run fig4a,fig4b,fig6a,fig6b -quick -slots 20000 -kernel off, seed
+// 1). The fleet fast path changes which engine EngineAuto picks for
+// fig6's round-robin policies, but must leave the reference engine —
+// the semantic ground truth every kernel is byte-checked against —
+// untouched: a regeneration today has to reproduce the pre-change
+// fixtures bit for bit.
+func TestReferenceEngineMatchesPrechangeFixtures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping 20k-slot experiment regeneration in -short mode")
+	}
+	for _, id := range []string{"fig4a", "fig4b", "fig6a", "fig6b"} {
+		t.Run(id, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", "prechange", id+".csv"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			exp, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q not registered", id)
+			}
+			table, err := exp.Run(Options{
+				Quick:  true,
+				Slots:  20_000,
+				Seed:   1,
+				Engine: sim.EngineReference,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := table.CSV(); got != string(want) {
+				t.Errorf("reference-engine %s regeneration diverged from the pre-change fixture:\ngot:\n%s\nwant:\n%s",
+					id, got, want)
+			}
+		})
+	}
+}

@@ -260,6 +260,23 @@ var (
 	SimRunsReference = NewCounter("sim.runs.reference")
 	SimRunsBatch     = NewCounter("sim.runs.batch")
 
+	// Engine-fallback diagnostics: why an EngineAuto dispatch declined a
+	// fast engine (compiled kernel or mega-batch) and ran an interpreted
+	// path instead, keyed by the structural reason. One increment per
+	// declined dispatch decision — a batch decline whose replications then
+	// fall back individually counts each decline — so slow-path runs are
+	// attributable in production instead of silent. The "sim." prefix
+	// carries these into the run-manifest metrics block automatically.
+	SimFallbackMode     = NewCounter("sim.engine.fallback.mode")
+	SimFallbackTrace    = NewCounter("sim.engine.fallback.trace")
+	SimFallbackTimeline = NewCounter("sim.engine.fallback.timeline")
+	SimFallbackFault    = NewCounter("sim.engine.fallback.fault")
+	SimFallbackPolicy   = NewCounter("sim.engine.fallback.policy")
+	SimFallbackInfo     = NewCounter("sim.engine.fallback.info")
+	SimFallbackRecharge = NewCounter("sim.engine.fallback.recharge")
+	SimFallbackTracer   = NewCounter("sim.engine.fallback.tracer")
+	SimFallbackMismatch = NewCounter("sim.engine.fallback.mismatch")
+
 	// Per-run metric totals, accumulated by sim.Run when metrics
 	// collection is enabled (see sim.Metrics for the definitions).
 	SimEvents            = NewCounter("sim.events")

@@ -11,6 +11,26 @@
 //
 // The zero value of Source is not valid; construct sources with New or
 // Source.Split.
+//
+// # Stream layout
+//
+// Split consumes one draw from the parent, so the ORDER of Split calls
+// is part of any byte-identity claim, not just the ids. The simulation
+// engines (internal/sim) therefore share one canonical layout rooted at
+// New(Config.Seed, 0x5eed), and every fast path reproduces it exactly:
+//
+//	Split(1)      event inter-arrivals (shared by the whole fleet)
+//	Split(2)      activation decisions (shared; round-robin fleets
+//	              draw one per awake slot regardless of N)
+//	Split(100+s)  sensor s's recharge process, split in s order
+//	Split(200+s)  sensor s's private decisions (independent fleets
+//	              only; the shared Split(2) is still taken first, and
+//	              discarded, so the 1/2/100+s prefix never moves)
+//
+// The batch engine applies the same layout per replication after
+// Reseed(Seed+r, 0x5eed). Adding a consumer means appending a new id
+// range after the existing splits — reordering or interleaving the
+// table above silently changes every seed's results.
 package rng
 
 import (

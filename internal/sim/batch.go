@@ -39,9 +39,14 @@ import (
 const defaultBatchChunk = 1024
 
 // batchPlan is a validated, instantiated batch configuration: the kernel
-// plan plus the batch-only shared tables.
+// plan plus the batch-only shared tables. Exactly one of kernel and
+// indep is non-nil: kernel covers the coordinated configurations
+// (single sensor and round-robin fleets, one shared table), indep the
+// decoupled ModeAll+PartialInfo fleets (one table per sensor over its
+// private capture clock).
 type batchPlan struct {
 	kernel *kernelPlan
+	indep  []indepSensorPlan
 	table  *core.BatchTable
 	// quant replaces Dist.Sample's per-gap transcendentals with an exact
 	// threshold lookup when the distribution exposes its inversion map
@@ -49,37 +54,83 @@ type batchPlan struct {
 	quant *dist.QuantileTable
 }
 
+func (p *batchPlan) sensors() int {
+	if p.indep != nil {
+		return len(p.indep)
+	}
+	return p.kernel.n
+}
+
 // resettable matches per-run state that can be restored in place
 // (energy.Periodic's phase); stateless processes don't implement it.
 type resettable interface{ Reset() }
 
+// batchReusable reports whether a chunk worker may start replications on
+// rech as-is: either the process is stateless or its state resets.
+func batchReusable(rech energy.FastForwarder) bool {
+	if _, ok := rech.(resettable); ok {
+		return true
+	}
+	switch rech.(type) {
+	case *energy.Bernoulli, *energy.Constant:
+		return true
+	default:
+		return false
+	}
+}
+
 // compileBatch probes whether cfg (already validated) can run on the
-// batch engine. It returns the plan, or nil and a human-readable reason
-// for the fallback. Eligibility is the kernel's plus two batch-only
-// conditions: no slot tracer (the engine reports aggregates, never slot
-// records), and a recharge process whose per-run state — if any — can be
-// reset between replications.
-func compileBatch(cfg *Config) (*batchPlan, string) {
+// batch engine. It returns the plan, or nil and the structural fallback
+// reason. Eligibility is the kernel's (or, for decoupled fleets, the
+// independent engine's) plus two batch-only conditions: no slot tracer
+// (the engine reports aggregates, never slot records), and recharge
+// processes whose per-run state — if any — can be reset between
+// replications.
+func compileBatch(cfg *Config) (*batchPlan, fallback) {
 	if cfg.Tracer != nil {
-		return nil, "slot tracing requested"
+		return nil, fallback{"tracer", "slot tracing requested"}
 	}
-	kp, reason := compileKernel(cfg)
+	kp, fb := compileKernel(cfg)
 	if kp == nil {
-		return nil, reason
+		if cfg.independentSensors() {
+			return compileBatchIndependent(cfg)
+		}
+		return nil, fb
 	}
-	if _, ok := kp.recharge.(resettable); !ok {
-		switch kp.recharge.(type) {
-		case *energy.Bernoulli, *energy.Constant:
-			// Stateless: safe to start every replication on as-is.
-		default:
-			return nil, fmt.Sprintf("recharge %s carries per-run state without Reset", kp.recharge.Name())
+	for _, r := range kp.recharges {
+		if !batchReusable(r) {
+			return nil, fallback{"recharge", fmt.Sprintf("recharge %s carries per-run state without Reset", r.Name())}
 		}
 	}
 	plan := &batchPlan{kernel: kp, table: core.CompileBatch(kp.table)}
 	if s := dist.AsInverseSampler(cfg.Dist); s != nil {
 		plan.quant = dist.NewQuantileTable(s)
 	}
-	return plan, ""
+	return plan, fallback{}
+}
+
+// compileBatchIndependent is compileBatch's probe for decoupled
+// ModeAll+PartialInfo fleets: every sensor must compile to a per-sensor
+// plan, and faults stay on the per-replication fallback (a truncated
+// sensor is cheap there and rare enough not to earn a batched loop).
+func compileBatchIndependent(cfg *Config) (*batchPlan, fallback) {
+	if len(cfg.FailAt) > 0 {
+		return nil, fallback{"fault", "fault injection requested"}
+	}
+	plans, fb := compileIndependent(cfg)
+	if plans == nil {
+		return nil, fb
+	}
+	for s := range plans {
+		if !batchReusable(plans[s].recharge) {
+			return nil, fallback{"recharge", fmt.Sprintf("recharge %s carries per-run state without Reset", plans[s].recharge.Name())}
+		}
+	}
+	plan := &batchPlan{indep: plans}
+	if s := dist.AsInverseSampler(cfg.Dist); s != nil {
+		plan.quant = dist.NewQuantileTable(s)
+	}
+	return plan, fallback{}
 }
 
 // runBatch executes the batch: replications are sharded into chunks of
@@ -95,9 +146,20 @@ func runBatch(cfg Config, plan *batchPlan) (*Result, error) {
 		chunk = defaultBatchChunk
 	}
 	numChunks := (reps + chunk - 1) / chunk
-	plan.kernel.policy.Reset()
+	if plan.kernel != nil {
+		for _, p := range plan.kernel.policies {
+			p.Reset()
+		}
+	} else {
+		for s := range plan.indep {
+			plan.indep[s].policy.Reset()
+		}
+	}
 
-	res := &Result{Slots: cfg.Slots, Sensors: make([]SensorStats, reps), Engine: EngineBatch}
+	// Replication r's sensors occupy the rep-major block [r·n, (r+1)·n),
+	// matching runBatchFallback's append order.
+	n := plan.sensors()
+	res := &Result{Slots: cfg.Slots, Sensors: make([]SensorStats, reps*n), Engine: EngineBatch}
 	sensors := res.Sensors
 
 	type chunkOut struct {
@@ -105,7 +167,7 @@ func runBatch(cfg Config, plan *batchPlan) (*Result, error) {
 		m                *Metrics
 	}
 	outs, err := parallel.Map(cfg.Workers, numChunks, func(ci int) (chunkOut, error) {
-		w, err := newBatchWorker(&cfg, plan)
+		w, err := newBatchRunner(&cfg, plan)
 		if err != nil {
 			return chunkOut{}, err
 		}
@@ -119,7 +181,7 @@ func runBatch(cfg Config, plan *batchPlan) (*Result, error) {
 			hi = reps
 		}
 		for r := lo; r < hi; r++ {
-			ev, cp := w.simulate(&cfg, plan, uint64(r), &sensors[r], out.m, r == 0)
+			ev, cp := w.simulate(&cfg, plan, uint64(r), sensors[r*n:(r+1)*n], out.m, r == 0)
 			out.events += ev
 			out.captures += cp
 		}
@@ -154,6 +216,45 @@ func runBatch(cfg Config, plan *batchPlan) (*Result, error) {
 	return res, nil
 }
 
+// batchRunner is one chunk's replication executor; simulate runs
+// replication rep into its rep-major sensors block and returns the
+// replication's event and capture counts.
+type batchRunner interface {
+	simulate(cfg *Config, plan *batchPlan, rep uint64, sensors []SensorStats, m *Metrics, observe bool) (events, captures int64)
+}
+
+// newBatchRunner picks the chunk worker for the plan's shape: the
+// single-sensor worker (with its awake-run batching), the round-robin
+// fleet worker, or the decoupled-fleet worker.
+func newBatchRunner(cfg *Config, plan *batchPlan) (batchRunner, error) {
+	if plan.indep != nil {
+		return newBatchIndepWorker(cfg, plan)
+	}
+	if plan.kernel.n > 1 {
+		return newBatchMultiWorker(cfg, plan)
+	}
+	return newBatchWorker(cfg, plan)
+}
+
+// chunkRecharge hands a chunk its own instance of the plan's recharge
+// process: the shared instance when stateless, a fresh prepared instance
+// (reset before every replication) otherwise — chunks run concurrently,
+// so a stateful process can never be shared.
+func chunkRecharge(cfg *Config, shared energy.FastForwarder) (energy.FastForwarder, resettable, error) {
+	if _, stateful := shared.(resettable); !stateful {
+		return shared, nil, nil
+	}
+	fresh, ok := cfg.NewRecharge().(energy.FastForwarder)
+	if !ok {
+		return nil, nil, fmt.Errorf("sim: recharge factory stopped producing fast-forwardable processes")
+	}
+	if prep, ok := fresh.(energy.FastForwardPreparer); ok {
+		prep.PrepareFastForward(prepareRunLength)
+	}
+	rst, _ := fresh.(resettable)
+	return fresh, rst, nil
+}
+
 // batchWorker is one chunk's replication state: RNG values reseeded in
 // place per replication, one battery reset per replication, and the
 // chunk's recharge process (the plan's shared instance when stateless, a
@@ -177,19 +278,9 @@ func newBatchWorker(cfg *Config, plan *batchPlan) (*batchWorker, error) {
 		return nil, err
 	}
 	w.battery = b
-	w.rech = plan.kernel.recharge
-	if _, stateful := w.rech.(resettable); stateful {
-		// Chunks run concurrently, so each owns a fresh instance of a
-		// stateful process, reset before every replication.
-		fresh, ok := cfg.NewRecharge().(energy.FastForwarder)
-		if !ok {
-			return nil, fmt.Errorf("sim: recharge factory stopped producing fast-forwardable processes")
-		}
-		if prep, ok := fresh.(energy.FastForwardPreparer); ok {
-			prep.PrepareFastForward(prepareRunLength)
-		}
-		w.rech = fresh
-		w.rechRst, _ = fresh.(resettable)
+	w.rech, w.rechRst, err = chunkRecharge(cfg, plan.kernel.recharge)
+	if err != nil {
+		return nil, err
 	}
 	if bern, ok := w.rech.(*energy.Bernoulli); ok {
 		w.bern = bern
@@ -207,7 +298,8 @@ func newBatchWorker(cfg *Config, plan *batchPlan) (*batchWorker, error) {
 // consume their streams exactly as the kernel would). observe enables
 // battery-occupancy sampling, which batch Metrics define on replication 0
 // only.
-func (w *batchWorker) simulate(cfg *Config, plan *batchPlan, rep uint64, stats *SensorStats, m *Metrics, observe bool) (events, captures int64) {
+func (w *batchWorker) simulate(cfg *Config, plan *batchPlan, rep uint64, sensors []SensorStats, m *Metrics, observe bool) (events, captures int64) {
+	stats := &sensors[0]
 	w.root.Reseed(cfg.Seed+rep, 0x5eed) // seedflow:ok replication-root: rep r must equal the kernel's root at Seed+r
 	w.root.SplitInto(&w.eventSrc, 1)
 	w.root.SplitInto(&w.decisionSrc, 2)

@@ -6,6 +6,7 @@ import (
 
 	"eventcap/internal/core"
 	"eventcap/internal/energy"
+	"eventcap/internal/obs"
 	"eventcap/internal/rng"
 	"eventcap/internal/trace"
 )
@@ -102,65 +103,163 @@ type Compilable interface {
 // precomputed tables stay in cache.
 const prepareRunLength = 128
 
-// kernelPlan is a validated, instantiated kernel configuration.
+// fallback is a declined fast-engine dispatch: a fixed machine slug
+// keying one of the sim.engine.fallback.* counters, plus the
+// human-readable reason used in forced-engine errors. The slug set is
+// closed — every compile reject below maps onto exactly one counter, so
+// production runs that land on an interpreted path are diagnosable from
+// the metrics alone.
+type fallback struct {
+	slug   string
+	reason string
+}
+
+// record counts the decline. Run calls it only on EngineAuto dispatch
+// decisions — a forced engine either runs or errors, and neither is a
+// fallback.
+func (f fallback) record() {
+	switch f.slug {
+	case "mode":
+		obs.SimFallbackMode.Inc()
+	case "trace":
+		obs.SimFallbackTrace.Inc()
+	case "timeline":
+		obs.SimFallbackTimeline.Inc()
+	case "fault":
+		obs.SimFallbackFault.Inc()
+	case "policy":
+		obs.SimFallbackPolicy.Inc()
+	case "info":
+		obs.SimFallbackInfo.Inc()
+	case "recharge":
+		obs.SimFallbackRecharge.Inc()
+	case "tracer":
+		obs.SimFallbackTracer.Inc()
+	case "mismatch":
+		obs.SimFallbackMismatch.Inc()
+	}
+}
+
+// kernelPlan is a validated, instantiated kernel configuration. For
+// n == 1 the scalar policy/recharge fields drive runKernel and the batch
+// worker; for n > 1 (ModeRoundRobin) the per-sensor slices drive
+// runKernelMulti, with the scalars aliasing index 0.
 type kernelPlan struct {
 	table    *core.ActivationTable
 	state    StateKind
 	modulus  int64
 	policy   Policy
 	recharge energy.FastForwarder
+
+	n         int
+	policies  []Policy
+	recharges []energy.FastForwarder
+}
+
+// samePlan reports whether two compiled policies lowered to the same
+// table, bit for bit. Round-robin sensors share one activation table, so
+// every sensor must compile identically — equal-in-law is not enough for
+// the kernel's byte-identity contract.
+func samePlan(a, b CompiledPolicy) bool {
+	if a.State != b.State || a.Modulus != b.Modulus ||
+		len(a.Table.Prob) != len(b.Table.Prob) {
+		return false
+	}
+	if math.Float64bits(a.Table.Tail) != math.Float64bits(b.Table.Tail) {
+		return false
+	}
+	for i := range a.Table.Prob {
+		if math.Float64bits(a.Table.Prob[i]) != math.Float64bits(b.Table.Prob[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // compileKernel probes whether cfg (already validated) can run on the
-// kernel. It returns the plan, or nil and a human-readable reason for the
-// fallback. Checks are ordered cheapest first; factories only run when the
-// structural checks pass.
-func compileKernel(cfg *Config) (*kernelPlan, string) {
-	if cfg.N != 1 {
-		return nil, "multiple sensors"
+// kernel. It returns the plan, or nil and the fallback (counter slug +
+// human-readable reason). Checks are ordered cheapest first; factories
+// only run when the structural checks pass.
+//
+// Multi-sensor configurations compile when the mode is ModeRoundRobin:
+// the in-charge sensor's decision state (h, f, or slot phase) is shared
+// across the fleet — h and the broadcast f reset on global occurrences,
+// the phase is absolute — so one activation table covers every sensor,
+// provided all N policies compile to identical tables.
+func compileKernel(cfg *Config) (*kernelPlan, fallback) {
+	if cfg.N != 1 && cfg.Mode != ModeRoundRobin {
+		return nil, fallback{"mode", fmt.Sprintf("%d sensors without round-robin coordination", cfg.N)}
 	}
 	if cfg.Trace != nil {
-		return nil, "per-slot trace requested"
+		return nil, fallback{"trace", "per-slot trace requested"}
 	}
 	if cfg.SampleEvery > 0 {
-		return nil, "timeline sampling requested"
+		return nil, fallback{"timeline", "timeline sampling requested"}
 	}
 	if len(cfg.FailAt) > 0 {
-		return nil, "fault injection requested"
+		return nil, fallback{"fault", "fault injection requested"}
+	}
+	if cfg.N != 1 && cfg.Tracer != nil {
+		// The multi-sensor kernel carries no span/record instrumentation;
+		// traced fleet runs stay on the reference engine.
+		return nil, fallback{"tracer", "slot tracing of a multi-sensor run"}
 	}
 	pol := cfg.NewPolicy(0)
 	comp, ok := pol.(Compilable)
 	if !ok {
-		return nil, fmt.Sprintf("policy %s is not compilable", pol.Name())
+		return nil, fallback{"policy", fmt.Sprintf("policy %s is not compilable", pol.Name())}
 	}
 	cp, err := comp.Compile()
 	if err != nil {
-		return nil, err.Error()
+		return nil, fallback{"policy", err.Error()}
 	}
 	if cp.Table == nil || cp.State == 0 {
-		return nil, fmt.Sprintf("policy %s compiled to an incomplete plan", pol.Name())
+		return nil, fallback{"policy", fmt.Sprintf("policy %s compiled to an incomplete plan", pol.Name())}
 	}
 	if cp.State == StateSinceEvent && cfg.Info != FullInfo {
-		return nil, fmt.Sprintf("policy %s needs full information", pol.Name())
+		return nil, fallback{"info", fmt.Sprintf("policy %s needs full information", pol.Name())}
 	}
 	if cp.State == StateSlotPhase && cp.Modulus < 1 {
-		return nil, fmt.Sprintf("policy %s compiled with modulus %d", pol.Name(), cp.Modulus)
+		return nil, fallback{"policy", fmt.Sprintf("policy %s compiled with modulus %d", pol.Name(), cp.Modulus)}
 	}
-	rech := cfg.NewRecharge()
-	ff, ok := rech.(energy.FastForwarder)
-	if !ok {
-		return nil, fmt.Sprintf("recharge %s cannot fast-forward", rech.Name())
+	plan := &kernelPlan{
+		table:     cp.Table,
+		state:     cp.State,
+		modulus:   int64(cp.Modulus),
+		n:         cfg.N,
+		policies:  make([]Policy, cfg.N),
+		recharges: make([]energy.FastForwarder, cfg.N),
 	}
-	if prep, ok := rech.(energy.FastForwardPreparer); ok {
-		prep.PrepareFastForward(prepareRunLength)
+	plan.policies[0] = pol
+	for s := 1; s < cfg.N; s++ {
+		ps := cfg.NewPolicy(s)
+		cs, ok := ps.(Compilable)
+		if !ok {
+			return nil, fallback{"mismatch", fmt.Sprintf("sensor %d policy %s is not compilable", s, ps.Name())}
+		}
+		cps, err := cs.Compile()
+		if err != nil {
+			return nil, fallback{"mismatch", fmt.Sprintf("sensor %d: %v", s, err)}
+		}
+		if !samePlan(cp, cps) {
+			return nil, fallback{"mismatch", fmt.Sprintf("sensor %d compiles to a different table than sensor 0", s)}
+		}
+		plan.policies[s] = ps
 	}
-	return &kernelPlan{
-		table:    cp.Table,
-		state:    cp.State,
-		modulus:  int64(cp.Modulus),
-		policy:   pol,
-		recharge: ff,
-	}, ""
+	for s := 0; s < cfg.N; s++ {
+		rech := cfg.NewRecharge()
+		ff, ok := rech.(energy.FastForwarder)
+		if !ok {
+			return nil, fallback{"recharge", fmt.Sprintf("recharge %s cannot fast-forward", rech.Name())}
+		}
+		if prep, ok := rech.(energy.FastForwardPreparer); ok {
+			prep.PrepareFastForward(prepareRunLength)
+		}
+		plan.recharges[s] = ff
+	}
+	plan.policy = plan.policies[0]
+	plan.recharge = plan.recharges[0]
+	return plan, fallback{}
 }
 
 // runKernel executes the compiled fast path. It reproduces the reference
@@ -171,6 +270,9 @@ func compileKernel(cfg *Config) (*kernelPlan, string) {
 // recharge the recharge stream is consumed in batches and results agree in
 // law (see energy.FastForwarder).
 func runKernel(cfg Config, plan *kernelPlan) (*Result, error) {
+	if plan.n > 1 {
+		return runKernelMulti(cfg, plan)
+	}
 	root := rng.New(cfg.Seed, 0x5eed) // seedflow:ok run-root: must equal the reference engine's root for byte-identity
 	eventSrc := root.Split(1)
 	decisionSrc := root.Split(2)

@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"eventcap/internal/core"
+	"eventcap/internal/energy"
+	"eventcap/internal/rng"
+)
+
+// The multi-sensor kernel: ModeRoundRobin fleets (M-FI / M-PI and the
+// multi-sensor aggressive baseline) share one compiled activation table —
+// the in-charge sensor's decision state is global (h resets on every
+// event, the broadcast f on every capture, the slot phase is absolute) —
+// so the single-sensor kernel's sleep fast-forward generalizes over the
+// sensor dimension: a run of z zero-probability states silences whichever
+// sensors own those slots, and the only per-sensor work is advancing N
+// batteries through their own recharge streams.
+//
+// RNG stream layout (must equal the reference engine's for byte-identity
+// under deterministic recharge): root rng.New(Seed, 0x5eed), event
+// Split(1), shared decision Split(2), then recharge Split(100+s) for
+// s = 0..N-1 in sensor order. Per slot the reference consumes one
+// recharge draw per sensor — each from its own stream, so batching a
+// sleep run's n draws per sensor is exactly n sequential draws — and one
+// decision draw iff the in-charge sensor's probability is positive, which
+// is precisely the awake-slot condition here. Under Bernoulli recharge
+// each sensor's sleep run collapses to one exact Binomial(n, q) draw and
+// results agree in law (the energy.FastForwarder contract).
+
+// runKernelMulti executes the compiled fast path for a round-robin fleet
+// (plan.n > 1). Sensor ownership of awake slot t is (t-1) mod N — the
+// same modulus mechanics as StateSlotPhase, but folded into per-slot
+// attribution only: sleep runs are ownership-agnostic (nobody decides),
+// so they never split on sensor boundaries.
+func runKernelMulti(cfg Config, plan *kernelPlan) (*Result, error) {
+	n := plan.n
+	root := rng.New(cfg.Seed, 0x5eed) // seedflow:ok run-root: must equal the reference engine's root for byte-identity
+	eventSrc := root.Split(1)
+	decisionSrc := root.Split(2)
+	// Dense battery block: one cache-friendly value slice instead of N
+	// heap pointers; FastForward and the awake slot take &batteries[s].
+	batteries := make([]energy.Battery, n)
+	for s := 0; s < n; s++ {
+		b, err := energy.NewBattery(cfg.BatteryCap, cfg.InitialBattery)
+		if err != nil {
+			return nil, err
+		}
+		batteries[s] = *b
+	}
+	rechargeSrcs := make([]*rng.Source, n)
+	for s := 0; s < n; s++ {
+		rechargeSrcs[s] = root.Split(uint64(100 + s))
+	}
+	for _, p := range plan.policies {
+		p.Reset()
+	}
+
+	table := plan.table
+	recharges := plan.recharges
+	cost := cfg.Params.ActivationCost()
+	delta1, delta2 := cfg.Params.Delta1, cfg.Params.Delta2
+
+	// Devirtualize the per-awake-slot recharge draws when the whole fleet
+	// runs the paper's Bernoulli process (one factory, so in practice all
+	// or none); the draws consume the streams exactly as Bernoulli.Next.
+	bernQ := make([]float64, n)
+	bernC := make([]float64, n)
+	isBern := true
+	for s, r := range recharges {
+		b, ok := r.(*energy.Bernoulli)
+		if !ok {
+			isBern = false
+			break
+		}
+		bernQ[s], bernC[s] = b.Q(), b.C()
+	}
+
+	res := &Result{Slots: cfg.Slots, Sensors: make([]SensorStats, n), Engine: EngineKernel}
+	var m *Metrics
+	if cfg.Metrics {
+		m = &Metrics{}
+		res.Metrics = m
+	}
+	// Same accumulator discipline as runKernel: per-awake-slot metric
+	// state stays in locals and flushes once at the end. Occupancy tracks
+	// sensor 0 every stride-th awake slot (the kernel convention).
+	invCap := 1 / cfg.BatteryCap
+	binScale := batteryBins * invCap
+	costGate := cost - 1e-12
+	var obsSlots, outage int64
+	var fracSum float64
+	sampleCountdown := int64(math.MaxInt64)
+	if m != nil {
+		sampleCountdown = batterySampleStride
+	}
+
+	// The paper assumes an event (and capture) at slot 0.
+	lastEvent, lastCapture := int64(0), int64(0)
+	nextEvent := int64(cfg.Dist.Sample(eventSrc))
+	nn := int64(n)
+
+	t := int64(1)
+	for t <= cfg.Slots {
+		var st int64
+		switch plan.state {
+		case StateSinceEvent:
+			st = t - lastEvent
+		case StateSinceCapture:
+			st = t - lastCapture
+		default:
+			st = (t-1)%plan.modulus + 1
+		}
+
+		if z := table.ZeroRunFrom(int(st)); z > 0 {
+			// Sleep run: every sensor owning a slot in the run would read
+			// the same zero-probability state, so the whole fleet stays
+			// silent for the next run slots (no decision draws, no
+			// consumption) and all N batteries fast-forward together.
+			run := z
+			if plan.state == StateSlotPhase {
+				if wrap := plan.modulus - st + 1; run > wrap {
+					run = wrap
+				}
+			}
+			if left := cfg.Slots - t + 1; run > left {
+				run = left
+			}
+			eventsBefore := res.Events
+			if plan.state == StateSinceEvent && nextEvent-t+1 <= run {
+				// The event resets h to 1 for the following slot, ending
+				// the run at the (slept-through) event slot itself.
+				run = nextEvent - t + 1
+				for s := 0; s < n; s++ {
+					recharges[s].FastForward(&batteries[s], run, rechargeSrcs[s])
+				}
+				res.Events++
+				lastEvent = nextEvent
+				nextEvent += int64(cfg.Dist.Sample(eventSrc))
+			} else {
+				for s := 0; s < n; s++ {
+					recharges[s].FastForward(&batteries[s], run, rechargeSrcs[s])
+				}
+				// SinceCapture and SlotPhase states ignore events; drain
+				// any that fall inside the run in arrival order.
+				end := t + run - 1
+				for nextEvent <= end {
+					res.Events++
+					lastEvent = nextEvent
+					nextEvent += int64(cfg.Dist.Sample(eventSrc))
+				}
+			}
+			if m != nil {
+				// KernelSlotsFastForwarded counts slots, not sensor-slots:
+				// one run of length run skips run slots for the whole
+				// fleet, preserving awake = Slots − FastForwarded.
+				m.KernelRuns++
+				m.KernelSlotsFastForwarded += run
+				m.MissAsleep += res.Events - eventsBefore
+			}
+			t += run
+			continue
+		}
+
+		// Awake slot: replicate the reference engine's slot exactly —
+		// every sensor recharges, only the in-charge sensor decides.
+		if isBern {
+			for s := 0; s < n; s++ {
+				if rechargeSrcs[s].Bernoulli(bernQ[s]) {
+					batteries[s].Recharge(bernC[s])
+				}
+			}
+		} else {
+			for s := 0; s < n; s++ {
+				batteries[s].Recharge(recharges[s].Next(rechargeSrcs[s]))
+			}
+		}
+		event := t == nextEvent
+		charge := int((t - 1) % nn)
+		battery := &batteries[charge]
+		p := table.At(int(st))
+		captured, denied := false, false
+		if decisionSrc.Bernoulli(p) {
+			if !battery.CanConsume(cost) {
+				res.Sensors[charge].Denied++
+				denied = true
+			} else {
+				battery.Consume(delta1)
+				res.Sensors[charge].Activations++
+				if event {
+					battery.Consume(delta2)
+					res.Sensors[charge].Captures++
+					res.Captures++
+					lastCapture = t
+					captured = true
+				}
+			}
+		}
+		if event {
+			res.Events++
+			lastEvent = t
+			nextEvent = t + int64(cfg.Dist.Sample(eventSrc))
+			if m != nil && !captured {
+				if denied {
+					m.MissNoEnergy++
+				} else {
+					m.MissAsleep++
+				}
+			}
+		}
+		// End-of-slot battery sample on every stride-th awake slot,
+		// matching the single-sensor kernel's convention.
+		sampleCountdown--
+		if sampleCountdown == 0 {
+			sampleCountdown = batterySampleStride
+			lvl := batteries[0].Level()
+			obsSlots++
+			fracSum += lvl * invCap
+			bin := int(lvl * binScale)
+			if bin >= batteryBins {
+				bin = batteryBins - 1
+			}
+			m.BatteryHist[bin]++
+			if lvl < costGate {
+				outage++
+			}
+		}
+		t++
+	}
+
+	for s := 0; s < n; s++ {
+		st := &res.Sensors[s]
+		st.EnergyConsumed = batteries[s].Consumed()
+		st.OverflowLost = batteries[s].OverflowLost()
+		st.FinalBattery = batteries[s].Level()
+	}
+	if res.Events > 0 {
+		res.QoM = float64(res.Captures) / float64(res.Events)
+	}
+	recordEngine(res.Engine)
+	if m != nil {
+		m.ObservedSlots = obsSlots
+		m.BatteryFracSum = fracSum
+		m.EnergyOutageSlots = outage
+		// An activation on an event slot always captures, so wasted
+		// (no-event) activations are exactly activations − captures.
+		for i := range res.Sensors {
+			m.WastedActivations += res.Sensors[i].Activations - res.Sensors[i].Captures
+		}
+		m.publish(res)
+	}
+	return res, nil
+}
+
+// indepSensorPlan is one decoupled sensor's compiled fast path in the
+// independent-sensor engine (ModeAll + PartialInfo): its own activation
+// table over its own capture clock, plus its own prepared recharge.
+// Unlike the round-robin plan the tables need not match across sensors —
+// each sensor's trajectory is fully private.
+type indepSensorPlan struct {
+	table    *core.ActivationTable
+	state    StateKind
+	modulus  int64
+	policy   Policy
+	recharge energy.FastForwarder
+}
+
+// compileIndependent probes whether every sensor of an independent
+// configuration (cfg.independentSensors() == true) can run the compiled
+// per-sensor loop inside runIndependent. Fault injection stays eligible —
+// a dead independent sensor is a clean truncation of its own loop, not an
+// interleaving change. Slot tracing needs the interpreted per-slot view.
+func compileIndependent(cfg *Config) ([]indepSensorPlan, fallback) {
+	if cfg.Tracer != nil {
+		return nil, fallback{"tracer", "slot tracing of independent sensors"}
+	}
+	plans := make([]indepSensorPlan, cfg.N)
+	for s := 0; s < cfg.N; s++ {
+		pol := cfg.NewPolicy(s)
+		comp, ok := pol.(Compilable)
+		if !ok {
+			return nil, fallback{"policy", fmt.Sprintf("policy %s is not compilable", pol.Name())}
+		}
+		cp, err := comp.Compile()
+		if err != nil {
+			return nil, fallback{"policy", err.Error()}
+		}
+		if cp.Table == nil || cp.State == 0 {
+			return nil, fallback{"policy", fmt.Sprintf("policy %s compiled to an incomplete plan", pol.Name())}
+		}
+		if cp.State == StateSinceEvent {
+			// Independent sensors are partial-information by definition.
+			return nil, fallback{"info", fmt.Sprintf("policy %s needs full information", pol.Name())}
+		}
+		if cp.State == StateSlotPhase && cp.Modulus < 1 {
+			return nil, fallback{"policy", fmt.Sprintf("policy %s compiled with modulus %d", pol.Name(), cp.Modulus)}
+		}
+		rech := cfg.NewRecharge()
+		ff, ok := rech.(energy.FastForwarder)
+		if !ok {
+			return nil, fallback{"recharge", fmt.Sprintf("recharge %s cannot fast-forward", rech.Name())}
+		}
+		if prep, ok := rech.(energy.FastForwardPreparer); ok {
+			prep.PrepareFastForward(prepareRunLength)
+		}
+		plans[s] = indepSensorPlan{
+			table:    cp.Table,
+			state:    cp.State,
+			modulus:  int64(cp.Modulus),
+			policy:   pol,
+			recharge: ff,
+		}
+	}
+	return plans, fallback{}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"eventcap/internal/core"
 	"eventcap/internal/dist"
@@ -64,16 +65,23 @@ var _ PoIPolicy = (*RoundRobinPoI)(nil)
 // Name implements PoIPolicy.
 func (r *RoundRobinPoI) Name() string { return "round-robin-poi" }
 
-// Choose implements PoIPolicy.
+// Choose implements PoIPolicy. Duty <= 0 never activates, Duty >= 1
+// activates every slot, and in between the period is the rounded (not
+// floored) reciprocal: flooring would bias the effective duty upward
+// (Duty = 0.3 → period 3 ≈ duty 0.33 instead of period 3.33).
 func (r *RoundRobinPoI) Choose(slot int64, _ []int, _ float64) (int, bool) {
+	poi := int(slot % int64(r.M))
+	if r.Duty <= 0 {
+		return poi, false
+	}
 	period := int64(1)
-	if r.Duty > 0 && r.Duty < 1 {
-		period = int64(1 / r.Duty)
+	if r.Duty < 1 {
+		period = int64(math.Round(1 / r.Duty))
 		if period < 1 {
 			period = 1
 		}
 	}
-	return int(slot % int64(r.M)), slot%period == 0
+	return poi, slot%period == 0
 }
 
 // Reset implements PoIPolicy.

@@ -88,6 +88,50 @@ func TestMultiPoIThresholdBeatsRoundRobin(t *testing.T) {
 	}
 }
 
+// TestRoundRobinPoIChoose pins the duty semantics: Duty <= 0 never
+// activates (it used to mean "every slot"), Duty >= 1 activates every
+// slot, and fractional duties use the rounded reciprocal period — the
+// floored period overshot the requested duty (0.3 → period 3 ≈ 0.33).
+func TestRoundRobinPoIChoose(t *testing.T) {
+	activeRate := func(duty float64) float64 {
+		pol := &RoundRobinPoI{M: 3, Duty: duty}
+		const slots = 10_000
+		var active int
+		for slot := int64(1); slot <= slots; slot++ {
+			poi, on := pol.Choose(slot, nil, 100)
+			if want := int(slot % 3); poi != want {
+				t.Fatalf("duty=%g slot %d: chose PoI %d, want %d", duty, slot, poi, want)
+			}
+			if on {
+				active++
+			}
+		}
+		return float64(active) / slots
+	}
+	if got := activeRate(0); got != 0 {
+		t.Errorf("Duty=0 activated at rate %v, want never", got)
+	}
+	if got := activeRate(-0.5); got != 0 {
+		t.Errorf("Duty=-0.5 activated at rate %v, want never", got)
+	}
+	if got := activeRate(1); got != 1 {
+		t.Errorf("Duty=1 activated at rate %v, want every slot", got)
+	}
+	if got := activeRate(1.5); got != 1 {
+		t.Errorf("Duty=1.5 activated at rate %v, want every slot", got)
+	}
+	// Duty=0.3: rounded period is 3 (best integer approximation); the old
+	// floor also gave 3 here, so probe a duty where rounding matters.
+	// Duty=0.28 → 1/duty ≈ 3.57 → rounded period 4 (rate 0.25), floored
+	// period 3 (rate 0.33) overshoots the duty by 19%.
+	if got := activeRate(0.28); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("Duty=0.28 activated at rate %v, want 0.25 (period 4)", got)
+	}
+	if got := activeRate(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("Duty=0.5 activated at rate %v, want 0.5", got)
+	}
+}
+
 func TestMultiPoIValidation(t *testing.T) {
 	p := core.DefaultParams()
 	if _, err := RunMultiPoI(MultiPoIConfig{Params: p}); err == nil {

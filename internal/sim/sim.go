@@ -349,36 +349,60 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	if cfg.Engine == EngineBatch {
-		plan, reason := compileBatch(&cfg)
+		plan, fb := compileBatch(&cfg)
 		if plan == nil {
-			return nil, fmt.Errorf("sim: batch engine unavailable: %s", reason)
+			return nil, fmt.Errorf("sim: batch engine unavailable: %s", fb.reason)
 		}
 		return runBatch(cfg, plan)
 	}
 	if cfg.Batch > 1 {
 		if cfg.Engine == EngineAuto {
-			if plan, _ := compileBatch(&cfg); plan != nil {
+			plan, fb := compileBatch(&cfg)
+			if plan != nil {
 				return runBatch(cfg, plan)
 			}
+			// The per-replication fallback runs may record further kernel
+			// declines below; this one attributes the batch decline itself.
+			fb.record()
 		}
 		return runBatchFallback(cfg)
 	}
 	switch cfg.Engine {
 	case EngineKernel:
-		plan, reason := compileKernel(&cfg)
-		if plan == nil {
-			return nil, fmt.Errorf("sim: kernel engine unavailable: %s", reason)
+		plan, fb := compileKernel(&cfg)
+		if plan != nil {
+			return runKernel(cfg, plan)
 		}
-		return runKernel(cfg, plan)
+		if cfg.independentSensors() {
+			ip, ifb := compileIndependent(&cfg)
+			if ip != nil {
+				return runIndependent(cfg, ip)
+			}
+			return nil, fmt.Errorf("sim: kernel engine unavailable: %s", ifb.reason)
+		}
+		return nil, fmt.Errorf("sim: kernel engine unavailable: %s", fb.reason)
 	case EngineReference:
 		// fall through to the interpreted paths below
 	default: // EngineAuto
-		if plan, _ := compileKernel(&cfg); plan != nil {
+		plan, fb := compileKernel(&cfg)
+		if plan != nil {
 			return runKernel(cfg, plan)
+		}
+		if cfg.independentSensors() {
+			// Decoupled sensors get a second chance on the per-sensor
+			// compiled loop before the interpreted one; record the more
+			// specific of the two decline reasons.
+			ip, ifb := compileIndependent(&cfg)
+			if ip != nil {
+				return runIndependent(cfg, ip)
+			}
+			ifb.record()
+		} else {
+			fb.record()
 		}
 	}
 	if cfg.independentSensors() {
-		return runIndependent(cfg)
+		return runIndependent(cfg, nil)
 	}
 	root := rng.New(cfg.Seed, 0x5eed) // seedflow:ok run-root: the reference engine's root stream, derived from Config.Seed
 	eventSrc := root.Split(1)
@@ -737,7 +761,16 @@ func Run(cfg Config) (*Result, error) {
 // count. Note the seed layout differs from the sequential engine's
 // shared decision stream: this configuration's outputs are reproducible
 // against themselves, not against a hypothetical shared-stream run.
-func runIndependent(cfg Config) (*Result, error) {
+//
+// When plans is non-nil (compileIndependent succeeded) each sensor job
+// runs the compiled per-sensor loop — table lookups plus O(1) sleep-run
+// fast-forwards over its private capture clock — instead of interpreting
+// the policy slot by slot. The two loops consume each sensor's streams
+// identically (one recharge draw per live slot, one decision draw per
+// positive-probability slot), so for deterministic recharge the compiled
+// path is byte-identical to the interpreted one; under Bernoulli it is
+// equal in law, the standard FastForwarder clause.
+func runIndependent(cfg Config, plans []indepSensorPlan) (*Result, error) {
 	root := rng.New(cfg.Seed, 0x5eed) // seedflow:ok run-root: mirrors Run's stream layout exactly
 	eventSrc := root.Split(1)
 	_ = root.Split(2) // keep recharge streams aligned with the sequential layout
@@ -800,9 +833,6 @@ func runIndependent(cfg Config) (*Result, error) {
 		if err != nil {
 			return sensorOut{}, err
 		}
-		recharge := cfg.NewRecharge()
-		pol := cfg.NewPolicy(s)
-		pol.Reset()
 		rSrc, dSrc := rechargeSrcs[s], decisionSrcs[s]
 		failSlot := int64(math.MaxInt64)
 		if fs, ok := cfg.FailAt[s]; ok {
@@ -816,6 +846,119 @@ func runIndependent(cfg Config) (*Result, error) {
 			out.denied = make([]bool, len(eventSlots))
 		}
 		m := out.m
+		if plans != nil {
+			// Compiled per-sensor fast path: the decision state is this
+			// sensor's own capture clock (or slot phase), so the
+			// single-sensor kernel's zero-run fast-forward applies
+			// verbatim. A failed sensor truncates its own loop at
+			// failSlot-1 — independent sensors share nothing, so the
+			// truncation is exact, and fault injection stays eligible.
+			sp := &plans[s]
+			sp.policy.Reset()
+			limit := cfg.Slots
+			if failSlot-1 < limit {
+				limit = failSlot - 1
+			}
+			bern, isBern := sp.recharge.(*energy.Bernoulli)
+			var bq, bc float64
+			if isBern {
+				bq, bc = bern.Q(), bern.C()
+			}
+			// Battery occupancy on the compiled path follows the kernel
+			// convention: sensor 0, every stride-th awake (non-skipped)
+			// slot.
+			sampleCountdown := int64(math.MaxInt64)
+			if m != nil && s == 0 {
+				sampleCountdown = batterySampleStride
+			}
+			lastCapture := int64(0)
+			ei := 0
+			t := int64(1)
+			for t <= limit {
+				var st int64
+				if sp.state == StateSinceCapture {
+					st = t - lastCapture
+				} else {
+					st = (t-1)%sp.modulus + 1
+				}
+				if z := sp.table.ZeroRunFrom(int(st)); z > 0 {
+					run := z
+					if sp.state == StateSlotPhase {
+						if wrap := sp.modulus - st + 1; run > wrap {
+							run = wrap
+						}
+					}
+					if left := limit - t + 1; run > left {
+						run = left
+					}
+					sp.recharge.FastForward(b, run, rSrc)
+					// Events slept through are misses for this sensor
+					// unless a peer catches them — the aggregation below
+					// decides from capturedAny, so just advance past.
+					end := t + run - 1
+					for ei < len(eventSlots) && eventSlots[ei] <= end {
+						ei++
+					}
+					if m != nil {
+						m.KernelRuns++
+						m.KernelSlotsFastForwarded += run
+					}
+					t += run
+					continue
+				}
+				if isBern {
+					if rSrc.Bernoulli(bq) {
+						b.Recharge(bc)
+					}
+				} else {
+					b.Recharge(sp.recharge.Next(rSrc))
+				}
+				event := ei < len(eventSlots) && eventSlots[ei] == t
+				p := sp.table.At(int(st))
+				// Awake slots have p > 0, so the decision draw below is
+				// always consumed — matching the interpreted loop's
+				// draw-per-positive-probability discipline.
+				if dSrc.Bernoulli(p) {
+					if !b.CanConsume(cost) {
+						out.stats.Denied++
+						if out.denied != nil && event {
+							out.denied[ei] = true
+						}
+					} else {
+						b.Consume(cfg.Params.Delta1)
+						out.stats.Activations++
+						if event {
+							b.Consume(cfg.Params.Delta2)
+							out.stats.Captures++
+							out.captured[ei] = true
+							lastCapture = t
+						}
+					}
+				}
+				if event {
+					ei++
+				}
+				sampleCountdown--
+				if sampleCountdown == 0 {
+					sampleCountdown = batterySampleStride
+					m.observeBattery(b.Level() * invCap)
+					if !b.CanConsume(cost) {
+						m.EnergyOutageSlots++
+					}
+				}
+				t++
+			}
+			out.stats.EnergyConsumed = b.Consumed()
+			out.stats.OverflowLost = b.OverflowLost()
+			out.stats.FinalBattery = b.Level()
+			if m != nil {
+				m.WastedActivations = out.stats.Activations - out.stats.Captures
+			}
+			return out, nil
+		}
+		recharge := cfg.NewRecharge()
+		pol := cfg.NewPolicy(s)
+		pol.Reset()
 		lastCapture := int64(0)
 		ei := 0
 		for t := int64(1); t <= cfg.Slots && t < failSlot; t++ {
@@ -917,11 +1060,15 @@ func runIndependent(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	engine := EngineReference
+	if plans != nil {
+		engine = EngineKernel
+	}
 	res := &Result{
 		Slots:   cfg.Slots,
 		Events:  int64(len(eventSlots)),
 		Sensors: make([]SensorStats, cfg.N),
-		Engine:  EngineReference,
+		Engine:  engine,
 	}
 	var m *Metrics
 	var deniedAny []bool
