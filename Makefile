@@ -6,11 +6,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build test lint fuzz-smoke race bench-smoke bench bench-batch bench-multi bench-kernel-json bench-batch-json bench-multi-json bench-obs-json bench-trace-json benchtraj trace-verify clean
+.PHONY: all check vet build test lint fuzz-smoke race bench-smoke bench bench-batch bench-multi bench-kernel-json bench-batch-json bench-multi-json bench-obs-json bench-trace-json bench-span-json benchtraj bench-check trace-verify clean
 
 all: check
 
-check: vet build test lint race bench-smoke bench-batch bench-multi trace-verify benchtraj
+check: vet build test lint race bench-smoke bench-batch bench-multi trace-verify benchtraj bench-check
 
 vet:
 	$(GO) vet ./...
@@ -54,7 +54,7 @@ race:
 # One iteration of each throughput benchmark: verifies the bench code
 # still compiles and runs, without paying for a real measurement.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'SlotsPerOp|ObsOverhead|TraceOverhead' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'SlotsPerOp|ObsOverhead|TraceOverhead|SpanOverhead' -benchtime 1x .
 
 # Batch-engine smoke: run the gated BENCH_batch emitter — the >=5x
 # speedup gate (batch engine vs B sequential kernel runs at B=10^4)
@@ -79,15 +79,25 @@ bench-multi:
 
 # End-to-end trace verification: run a traced kernel-heavy experiment
 # and replay the trace against its manifest with cmd/tracetool. The
-# trace-artifact/ directory doubles as the CI artifact upload.
+# trace-artifact/ directory doubles as the CI artifact upload, so the
+# run also emits its phase spans (Chrome trace-event JSON) and leaves
+# the structured run journal (runs.jsonl) beside the CSVs.
 trace-verify:
-	$(GO) run ./cmd/experiments -run fig3a -quick -slots 20000 -out trace-artifact -trace
+	$(GO) run ./cmd/experiments -run fig3a -quick -slots 20000 -out trace-artifact -trace -spans fig3a.spans.json
 	$(GO) run ./cmd/tracetool replay trace-artifact/fig3a.manifest.json
 
 # Fold the current BENCH_*.json records into BENCH_trajectory.json
 # (append-only history; a no-op when no record changed).
 benchtraj:
 	$(GO) run ./cmd/benchtraj
+
+# Bench-regression gate: compare each committed BENCH_*.json figure of
+# merit against the median of its trajectory history; fail when a
+# speedup fell by more than the record's own noise floor plus a 10-point
+# margin. Runs after benchtraj so the just-folded point (excluded as the
+# record's own twin) never vouches for itself.
+bench-check:
+	$(GO) run ./cmd/benchtraj check
 
 # Full measurement of the kernel and reference engines.
 bench:
@@ -121,6 +131,12 @@ bench-obs-json:
 # median-of-rounds methodology and quiet-machine caveat as above.
 bench-trace-json:
 	BENCH_TRACE_JSON=BENCH_trace.json $(GO) test -run TestTraceOverheadWithinBudget -count=1 -timeout 900s -v .
+
+# Measure the phase-span tracer's cost (Config.Span + Config.Progress)
+# on both engines, assert the same ≤2% budget, and regenerate
+# BENCH_span.json. Same methodology and quiet-machine caveat as above.
+bench-span-json:
+	BENCH_SPAN_JSON=BENCH_span.json $(GO) test -run TestSpanOverheadWithinBudget -count=1 -timeout 900s -v .
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,111 @@
+package eventcap_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"eventcap/internal/obs"
+	"eventcap/internal/sim"
+)
+
+// benchSpan measures one engine's slot loop with the phase-span tracer
+// and work-unit progress attached or absent, on the same
+// sparse-activation configuration as BENCH_obs (the regime where
+// per-slot costs are most visible). Spans wrap phases, never slots, so
+// this benchmark is the direct check that the design holds: the per-run
+// span cost must be constant, not O(slots).
+func benchSpan(b *testing.B, engine sim.Engine, spans bool) {
+	cfg := kernelBenchConfig(b, engine, 1_000_000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		var root *obs.Span
+		if spans {
+			root = obs.BeginSpan("bench")
+			cfg.Span = root
+			cfg.Progress = obs.NewProgress()
+		}
+		res, err := sim.Run(cfg)
+		root.End()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Events == 0 {
+			b.Fatal("benchmark run saw no events")
+		}
+	}
+}
+
+// BenchmarkSpanOverhead quantifies the cost of Config.Span +
+// Config.Progress on both engines (slots/op is 1e6). The contract
+// asserted by TestSpanOverheadWithinBudget and recorded in
+// BENCH_span.json is the same ≤2% slot-loop budget as Config.Metrics.
+func BenchmarkSpanOverhead(b *testing.B) {
+	b.Run("reference/spans=off", func(b *testing.B) { benchSpan(b, sim.EngineReference, false) })
+	b.Run("reference/spans=on", func(b *testing.B) { benchSpan(b, sim.EngineReference, true) })
+	b.Run("kernel/spans=off", func(b *testing.B) { benchSpan(b, sim.EngineKernel, false) })
+	b.Run("kernel/spans=on", func(b *testing.B) { benchSpan(b, sim.EngineKernel, true) })
+}
+
+// TestSpanOverheadWithinBudget enforces the ≤2% slot-loop budget of
+// DESIGN.md §9 on the phase-span tracer, with the interleaved-rounds
+// methodology of bench_rounds_test.go. Gated behind an env var together
+// with the JSON emission because a trustworthy measurement needs a
+// quiet machine:
+//
+//	BENCH_SPAN_JSON=BENCH_span.json go test -run TestSpanOverheadWithinBudget .
+func TestSpanOverheadWithinBudget(t *testing.T) {
+	path := os.Getenv("BENCH_SPAN_JSON")
+	if path == "" {
+		t.Skip("set BENCH_SPAN_JSON=<path> to measure overhead and emit the benchmark record")
+	}
+	const rounds = 5
+	const budgetPct = 2.0
+	ref := measureOverhead(rounds,
+		func(b *testing.B) { benchSpan(b, sim.EngineReference, false) },
+		func(b *testing.B) { benchSpan(b, sim.EngineReference, true) })
+	ker := measureOverhead(rounds,
+		func(b *testing.B) { benchSpan(b, sim.EngineKernel, false) },
+		func(b *testing.B) { benchSpan(b, sim.EngineKernel, true) })
+	if !ref.withinBudget(budgetPct) {
+		t.Errorf("reference engine span overhead %.2f%% exceeds %.0f%% budget + %.2f%% noise floor (%d → %d ns/op)",
+			ref.MedianOverheadPct, budgetPct, ref.NoiseFloorPct, ref.MedianOffNsPerOp, ref.MedianOnNsPerOp)
+	}
+	if !ker.withinBudget(budgetPct) {
+		t.Errorf("kernel engine span overhead %.2f%% exceeds %.0f%% budget + %.2f%% noise floor (%d → %d ns/op)",
+			ker.MedianOverheadPct, budgetPct, ker.NoiseFloorPct, ker.MedianOffNsPerOp, ker.MedianOnNsPerOp)
+	}
+	rec := struct {
+		Benchmark  string              `json:"benchmark"`
+		Config     string              `json:"config"`
+		SlotsPerOp int64               `json:"slots_per_op"`
+		BudgetPct  float64             `json:"budget_pct"`
+		Rounds     int                 `json:"rounds"`
+		Reference  overheadMeasurement `json:"reference"`
+		Kernel     overheadMeasurement `json:"kernel"`
+		GoMaxProcs int                 `json:"gomaxprocs"`
+		GoVersion  string              `json:"go_version"`
+	}{
+		Benchmark:  "BenchmarkSpanOverhead",
+		Config:     "greedy-FI (fig3a policy family), Weibull(40,3), Bernoulli(0.1,1) recharge, K=1000",
+		SlotsPerOp: 1_000_000,
+		BudgetPct:  budgetPct,
+		Rounds:     rounds,
+		Reference:  ref,
+		Kernel:     ker,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("span overhead: reference median %.2f%% (noise floor %.2f%%), kernel median %.2f%% (noise floor %.2f%%)",
+		ref.MedianOverheadPct, ref.NoiseFloorPct, ker.MedianOverheadPct, ker.NoiseFloorPct)
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	benchtraj [-dir .] [-out BENCH_trajectory.json]
+//	benchtraj check [-dir .] [-traj BENCH_trajectory.json] [-margin 10]
 //
 // Every BENCH_*.json in -dir (except the output file itself) is read,
 // keyed by its "benchmark" field (file name when absent), and appended
@@ -14,6 +15,15 @@
 // regenerating benchmarks is a no-op. Records are stored canonicalized
 // (compact, sorted keys), making the equality check and the file bytes
 // deterministic.
+//
+// The check verb is the bench-regression gate: it compares each
+// record's figure of merit (measurement.median_speedup, or the
+// top-level speedup for single-shot records) against the median of its
+// prior trajectory points and fails — exit nonzero — when the current
+// value falls below that median by more than the record's own measured
+// noise floor plus -margin percentage points. Records with no speedup
+// figure (the overhead records, gated by their in-test budgets) and
+// records with no history pass with a note.
 package main
 
 import (
@@ -24,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // TrajectorySchema identifies the trajectory format.
@@ -50,6 +61,9 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "check" {
+		return runCheck(args[1:], out)
+	}
 	fs := flag.NewFlagSet("benchtraj", flag.ContinueOnError)
 	dir := fs.String("dir", ".", "directory holding BENCH_*.json records")
 	outFile := fs.String("out", "BENCH_trajectory.json", "trajectory file to update (relative to -dir)")
@@ -100,6 +114,115 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "wrote %s: %d series, %d new point(s)\n", outPath, len(traj.Series), appended)
 	return nil
+}
+
+// runCheck is the bench-regression gate (the "check" verb).
+func runCheck(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchtraj check", flag.ContinueOnError)
+	dir := fs.String("dir", ".", "directory holding BENCH_*.json records")
+	trajFile := fs.String("traj", "BENCH_trajectory.json", "trajectory file with prior points (relative to -dir)")
+	margin := fs.Float64("margin", 10, "slack in percentage points added to each record's measured noise floor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	trajPath := *trajFile
+	if !filepath.IsAbs(trajPath) {
+		trajPath = filepath.Join(*dir, trajPath)
+	}
+	traj, err := loadTrajectory(trajPath)
+	if err != nil {
+		return err
+	}
+	files, err := filepath.Glob(filepath.Join(*dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(files)
+
+	var regressions []string
+	checked := 0
+	for _, f := range files {
+		if filepath.Base(f) == filepath.Base(trajPath) {
+			continue
+		}
+		key, rec, err := loadRecord(f)
+		if err != nil {
+			return err
+		}
+		cur, floor, ok := figureOfMerit(rec)
+		if !ok {
+			// Overhead-only records (BENCH_obs, BENCH_trace, ...) carry no
+			// speedup; their ≤budget_pct gates run inside the benchmarks.
+			fmt.Fprintf(out, "%-28s skipped (no speedup figure of merit)\n", key+":")
+			continue
+		}
+		checked++
+		// Prior points are the trajectory entries that differ from the
+		// record on disk — the fold step typically just appended the
+		// current record, which must not vouch for itself.
+		var priors []float64
+		for _, pt := range traj.Series[key] {
+			if bytesEqualCanonical(pt.Record, rec) {
+				continue
+			}
+			if v, _, ok := figureOfMerit(pt.Record); ok {
+				priors = append(priors, v)
+			}
+		}
+		if len(priors) == 0 {
+			fmt.Fprintf(out, "%-28s %.2fx, no prior points — pass\n", key+":", cur)
+			continue
+		}
+		prior := median(priors)
+		threshold := prior * (1 - (floor+*margin)/100)
+		if cur < threshold {
+			msg := fmt.Sprintf("%s: %.2fx < threshold %.2fx (median of %d prior point(s) %.2fx, noise floor %.1f%% + margin %.1f%%)",
+				key, cur, threshold, len(priors), prior, floor, *margin)
+			regressions = append(regressions, msg)
+			fmt.Fprintf(out, "%-28s REGRESSION: %.2fx < %.2fx\n", key+":", cur, threshold)
+			continue
+		}
+		fmt.Fprintf(out, "%-28s ok: %.2fx >= %.2fx (median of %d prior(s) %.2fx, floor %.1f%% + margin %.1f%%)\n",
+			key+":", cur, threshold, len(priors), prior, floor, *margin)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench regression:\n  %s", strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(out, "checked %d benchmark(s) against %s\n", checked, trajPath)
+	return nil
+}
+
+// figureOfMerit extracts a record's comparable speedup and its measured
+// noise floor (in percent): measurement.median_speedup with
+// measurement.noise_floor_pct for median-of-rounds records, the
+// top-level speedup (floor 0) for single-shot records. ok is false for
+// records with neither — overhead-only records are not checked here.
+func figureOfMerit(rec json.RawMessage) (fom, floor float64, ok bool) {
+	var obj map[string]any
+	if json.Unmarshal(rec, &obj) != nil {
+		return 0, 0, false
+	}
+	if m, isMap := obj["measurement"].(map[string]any); isMap {
+		if v, hasFom := m["median_speedup"].(float64); hasFom {
+			floor, _ := m["noise_floor_pct"].(float64)
+			return v, floor, true
+		}
+	}
+	if v, hasFom := obj["speedup"].(float64); hasFom {
+		return v, 0, true
+	}
+	return 0, 0, false
+}
+
+// median returns the middle value (mean of the middle two for even n).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
 }
 
 // loadTrajectory reads an existing trajectory file, or returns an empty

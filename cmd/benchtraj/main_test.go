@@ -132,6 +132,200 @@ func TestRejectsCorruptRecord(t *testing.T) {
 	}
 }
 
+// medianRecord builds a median-of-rounds BENCH record like the batch
+// and multi-sensor suites emit.
+func medianRecord(name string, speedup, floorPct float64) map[string]any {
+	return map[string]any{
+		"benchmark": name,
+		"measurement": map[string]any{
+			"median_speedup":  speedup,
+			"noise_floor_pct": floorPct,
+		},
+	}
+}
+
+func TestCheckPassesWithinNoiseFloor(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_batch.json")
+	// History at 5.0x, current run at 4.7x: a 6% dip, inside the 4%
+	// floor + 10% default margin.
+	writeJSON(t, path, medianRecord("BenchmarkBatch", 5.0, 4))
+	var sb strings.Builder
+	if err := run([]string{"-dir", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	writeJSON(t, path, medianRecord("BenchmarkBatch", 4.7, 4))
+	if err := run([]string{"check", "-dir", dir}, &sb); err != nil {
+		t.Fatalf("within-noise dip flagged as regression: %v", err)
+	}
+	if !strings.Contains(sb.String(), "ok: 4.70x") {
+		t.Errorf("missing ok line:\n%s", sb.String())
+	}
+}
+
+func TestCheckFlagsRegression(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_batch.json")
+	writeJSON(t, path, medianRecord("BenchmarkBatch", 5.0, 4))
+	var sb strings.Builder
+	if err := run([]string{"-dir", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	// 5.0x → 3.0x is a 40% drop, far past floor 4% + margin 10%.
+	writeJSON(t, path, medianRecord("BenchmarkBatch", 3.0, 4))
+	err := run([]string{"check", "-dir", dir}, &sb)
+	if err == nil {
+		t.Fatal("40%% speedup drop passed the gate")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkBatch") {
+		t.Errorf("regression error does not name the benchmark: %v", err)
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Errorf("missing REGRESSION line:\n%s", sb.String())
+	}
+}
+
+func TestCheckMarginFlagTightensGate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_batch.json")
+	writeJSON(t, path, medianRecord("BenchmarkBatch", 5.0, 0))
+	var sb strings.Builder
+	if err := run([]string{"-dir", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	writeJSON(t, path, medianRecord("BenchmarkBatch", 4.7, 0))
+	// A 6% dip with zero floor: passes at the default 10% margin, fails
+	// when the margin is tightened to 2 points.
+	if err := run([]string{"check", "-dir", dir}, &sb); err != nil {
+		t.Fatalf("default margin: %v", err)
+	}
+	if err := run([]string{"check", "-dir", dir, "-margin", "2"}, &sb); err == nil {
+		t.Fatal("-margin 2 did not tighten the gate")
+	}
+}
+
+func TestCheckUsesMedianOfPriors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_batch.json")
+	var sb strings.Builder
+	// Build history 5.0, 5.2, 4.9 (median 5.0), then drop to 4.0: a
+	// 20% fall from the median must fail even though a single outlier
+	// prior (4.9) sits closer.
+	for _, s := range []float64{5.0, 5.2, 4.9} {
+		writeJSON(t, path, medianRecord("BenchmarkBatch", s, 4))
+		if err := run([]string{"-dir", dir}, &sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeJSON(t, path, medianRecord("BenchmarkBatch", 4.0, 4))
+	if err := run([]string{"check", "-dir", dir}, &sb); err == nil {
+		t.Fatal("20%% drop from prior median passed")
+	}
+}
+
+func TestCheckSkipsRecordsWithoutSpeedup(t *testing.T) {
+	dir := t.TempDir()
+	// Overhead-style record (BENCH_obs shape): no speedup anywhere.
+	writeJSON(t, filepath.Join(dir, "BENCH_obs.json"), map[string]any{
+		"benchmark":   "BenchmarkMetricsOverhead",
+		"measurement": map[string]any{"overhead_pct": 0.3, "budget_pct": 1.0},
+	})
+	var sb strings.Builder
+	if err := run([]string{"-dir", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"check", "-dir", dir}, &sb); err != nil {
+		t.Fatalf("overhead-only record tripped the gate: %v", err)
+	}
+	if !strings.Contains(sb.String(), "skipped (no speedup figure of merit)") {
+		t.Errorf("missing skip note:\n%s", sb.String())
+	}
+}
+
+func TestCheckNoHistoryPasses(t *testing.T) {
+	dir := t.TempDir()
+	// A record that was never folded: no trajectory file at all.
+	writeJSON(t, filepath.Join(dir, "BENCH_kernel.json"), map[string]any{
+		"benchmark": "BenchmarkKernel", "speedup": 6.4,
+	})
+	var sb strings.Builder
+	if err := run([]string{"check", "-dir", dir}, &sb); err != nil {
+		t.Fatalf("record without history failed the gate: %v", err)
+	}
+	if !strings.Contains(sb.String(), "no prior points") {
+		t.Errorf("missing no-history note:\n%s", sb.String())
+	}
+	// Fold it, then check again: the only trajectory point is the
+	// record itself, which must not vouch for (or against) itself.
+	if err := run([]string{"-dir", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"check", "-dir", dir}, &sb); err != nil {
+		t.Fatalf("self-only trajectory failed the gate: %v", err)
+	}
+}
+
+func TestCheckTopLevelSpeedupRecords(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_kernel.json")
+	// Single-shot records carry a bare top-level speedup and no noise
+	// floor; the gate falls back to margin-only slack.
+	writeJSON(t, path, map[string]any{"benchmark": "BenchmarkKernel", "speedup": 6.0})
+	var sb strings.Builder
+	if err := run([]string{"-dir", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	writeJSON(t, path, map[string]any{"benchmark": "BenchmarkKernel", "speedup": 5.6})
+	if err := run([]string{"check", "-dir", dir}, &sb); err != nil {
+		t.Fatalf("6.7%% dip within 10%% margin failed: %v", err)
+	}
+	writeJSON(t, path, map[string]any{"benchmark": "BenchmarkKernel", "speedup": 5.0})
+	if err := run([]string{"check", "-dir", dir}, &sb); err == nil {
+		t.Fatal("16%% drop passed a margin-only gate")
+	}
+}
+
+func TestCheckRepoRecords(t *testing.T) {
+	// The committed records plus the committed trajectory must pass the
+	// gate — `make check` runs exactly this.
+	entries, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil || len(entries) == 0 {
+		t.Skipf("no repo BENCH records: %v", err)
+	}
+	dir := t.TempDir()
+	for _, src := range entries {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(src)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := run([]string{"-dir", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"check", "-dir", dir}, &sb); err != nil {
+		t.Fatalf("repo records fail their own gate: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "checked ") {
+		t.Errorf("missing summary line:\n%s", sb.String())
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("even median = %v", got)
+	}
+	if got := median([]float64{7}); got != 7 {
+		t.Errorf("single median = %v", got)
+	}
+}
+
 func TestRepoRecordsIngest(t *testing.T) {
 	// The real BENCH_*.json records at the repo root must ingest
 	// cleanly (this is what `make check` runs).

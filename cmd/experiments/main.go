@@ -61,6 +61,7 @@ func run(args []string, out io.Writer) error {
 		cpuProf     = fs.String("cpuprofile", "", "write a CPU profile to this file (a bare filename lands in -out)")
 		memProf     = fs.String("memprofile", "", "write a heap profile to this file (a bare filename lands in -out)")
 		progress    = fs.Duration("progress", 0, "print a live progress line to stderr at this interval (0 disables)")
+		spansFlag   = fs.String("spans", "", "write the run's phase spans as Chrome trace-event JSON to this file (a bare filename lands in -out; open in chrome://tracing or Perfetto)")
 		metricsAddr = fs.String("metrics-addr", "", "serve /debug/vars and /debug/pprof on this address while running (e.g. localhost:6060)")
 		traceFlag   = fs.Bool("trace", false, "write a slot-level trace (<id>.evtrace) and record it in the manifest; requires -out")
 		flightSize  = fs.Int("flight-recorder", 0, "arm a flight recorder keeping the last N slot records per sensor (0 disables); dumps appear at /debug/trace with -metrics-addr")
@@ -109,6 +110,7 @@ func run(args []string, out io.Writer) error {
 	// Bare profile filenames land beside the manifests that point at them.
 	cpuPath := cliutil.ResolveProfilePath(*cpuProf, *outDir)
 	memPath := cliutil.ResolveProfilePath(*memProf, *outDir)
+	spansPath := cliutil.ResolveProfilePath(*spansFlag, *outDir)
 	stopProfiles, err := cliutil.StartProfiles(cpuPath, memPath)
 	if err != nil {
 		return err
@@ -137,8 +139,11 @@ func run(args []string, out io.Writer) error {
 		defer stopServe()
 	}
 
+	// One Progress across the whole invocation: the pool observer when
+	// -progress asks for a live line, and the work-unit/ETA source for
+	// the /debug/runs dashboard either way.
+	prog := obs.NewProgress()
 	if *progress > 0 {
-		prog := obs.NewProgress()
 		parallel.SetObserver(prog)
 		ticker := time.NewTicker(*progress)
 		stopTicker := make(chan struct{})
@@ -148,7 +153,7 @@ func run(args []string, out io.Writer) error {
 				case <-stopTicker:
 					return
 				case <-ticker.C:
-					fmt.Fprintln(os.Stderr, prog.Line(parallel.Workers(*workers)))
+					fmt.Fprintln(os.Stderr, prog.Line())
 				}
 			}
 		}()
@@ -161,10 +166,50 @@ func run(args []string, out io.Writer) error {
 		}()
 	}
 
-	opts := experiments.Options{Slots: *slots, Seed: *seed, Quick: *quick, Workers: *workers, Engine: engine, Batch: *batch}
+	// The run journal appends one wide-event JSON line per experiment
+	// beside the CSVs; the run registry feeds /debug/runs.
+	var journal *obs.RunLog
+	if *outDir != "" {
+		journal, err = obs.OpenRunLog(filepath.Join(*outDir, "runs.jsonl"))
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+	}
+	var spanRoots []*obs.Span
+
+	opts := experiments.Options{Slots: *slots, Seed: *seed, Quick: *quick, Workers: *workers, Engine: engine, Batch: *batch, Progress: prog}
 	for _, exp := range selected {
 		before := obs.Snapshot()
 		start := time.Now()
+		params := manifestParams{
+			slots:   *slots,
+			seed:    *seed,
+			quick:   *quick,
+			workers: *workers,
+			batch:   *batch,
+			engine:  engine,
+			start:   start,
+			outDir:  *outDir,
+			cpuProf: cpuPath,
+			memProf: memPath,
+		}
+		// Workers are excluded from the digest: results are worker-
+		// invariant, so two runs differing only in pool size share a
+		// digest (and must share a CSV hash).
+		digest := obs.DigestConfig(
+			"experiment="+exp.ID,
+			fmt.Sprintf("slots=%d", *slots),
+			fmt.Sprintf("seed=%d", *seed),
+			fmt.Sprintf("quick=%t", *quick),
+			"engine="+engine.String(),
+		)
+		// Phase spans: the experiment's root span with a "run" child
+		// around the driver (each simulation forks "sim.run" under it)
+		// and a "write" child around the CSV write below. The registry
+		// entry makes the run visible at /debug/runs while it executes.
+		root := obs.BeginSpan(exp.ID)
+		active := obs.DefaultRegistry.Begin(exp.ID, digest, prog, root)
 		// Attach the tracer for this experiment: a fresh trace file per
 		// experiment (so each manifest hashes exactly its own runs), the
 		// shared flight recorder, or both.
@@ -183,14 +228,30 @@ func run(args []string, out io.Writer) error {
 		if tw != nil || flight != nil {
 			opts.Tracer = trace.New(tw, flight)
 		}
+		runSpan := root.Child("run")
+		opts.Span = runSpan
 		table, err := exp.Run(opts)
+		runSpan.End()
 		if err != nil {
 			if tf != nil {
 				tf.Close()
 			}
+			// Failed runs are journaled and completed too: the dashboard
+			// and the journal must account for every run, not just the
+			// successful ones.
+			root.End()
+			params.elapsed = time.Since(start)
+			rec := runRecord(exp, digest, params, obs.Diff(before, obs.Snapshot()), root.Breakdown())
+			rec.Status = "error"
+			rec.Error = err.Error()
+			if journal != nil {
+				journal.Record(rec)
+			}
+			active.Complete(rec)
 			return fmt.Errorf("running %s: %w", exp.ID, err)
 		}
 		elapsed := time.Since(start)
+		params.elapsed = elapsed
 		var traceInfo *obs.TraceInfo
 		if tw != nil {
 			if err := tw.Close(); err != nil {
@@ -221,35 +282,86 @@ func run(args []string, out io.Writer) error {
 		table.Notes = append(table.Notes, fmt.Sprintf("timing: %v wall-clock with %d workers", rounded, parallel.Workers(*workers)))
 		fmt.Fprintln(out, table.ASCII())
 		fmt.Fprintf(out, "(%s finished in %v)\n\n", exp.ID, rounded)
+		params.trace = traceInfo
+		var rec obs.RunRecord
 		if *outDir != "" {
+			ws := root.Child("write")
 			csv := []byte(table.CSV())
 			path := filepath.Join(*outDir, exp.ID+".csv")
 			if err := os.WriteFile(path, csv, 0o644); err != nil {
 				return fmt.Errorf("writing %s: %w", path, err)
 			}
-			man := manifestFor(exp, csv, obs.Diff(before, obs.Snapshot()), manifestParams{
-				slots:   *slots,
-				seed:    *seed,
-				quick:   *quick,
-				workers: *workers,
-				engine:  engine,
-				start:   start,
-				elapsed: elapsed,
-				outDir:  *outDir,
-				cpuProf: cpuPath,
-				memProf: memPath,
-				trace:   traceInfo,
-			})
+			ws.End()
+			root.End()
+			diff := obs.Diff(before, obs.Snapshot())
+			man := manifestFor(exp, csv, diff, digest, params)
+			man.Phases = root.Breakdown()
+			if journal != nil {
+				man.Journal = filepath.Base(journal.Path())
+			}
 			manPath := filepath.Join(*outDir, exp.ID+".manifest.json")
 			if err := man.Write(manPath); err != nil {
 				return err
 			}
 			fmt.Fprintf(out, "wrote %s\n", path)
 			fmt.Fprintf(out, "wrote %s\n\n", manPath)
+			rec = runRecord(exp, digest, params, diff, man.Phases)
+			rec.CSV = man.CSV
+			rec.CSVSHA256 = man.CSVSHA256
+		} else {
+			root.End()
+			rec = runRecord(exp, digest, params, obs.Diff(before, obs.Snapshot()), root.Breakdown())
 		}
+		if journal != nil {
+			if err := journal.Record(rec); err != nil {
+				return fmt.Errorf("recording %s in run journal: %w", exp.ID, err)
+			}
+		}
+		active.Complete(rec)
+		spanRoots = append(spanRoots, root)
+	}
+	if spansPath != "" {
+		sf, err := os.Create(spansPath)
+		if err != nil {
+			return fmt.Errorf("creating spans file: %w", err)
+		}
+		if err := obs.WriteChromeTrace(sf, spanRoots...); err != nil {
+			sf.Close()
+			return err
+		}
+		if err := sf.Close(); err != nil {
+			return fmt.Errorf("writing spans file: %w", err)
+		}
+		fmt.Fprintf(out, "wrote %s\n", spansPath)
 	}
 	profilesStopped = true
 	return stopProfiles()
+}
+
+// runRecord assembles the journal/registry record for one experiment:
+// the manifest's identity and configuration facts plus the engine
+// attribution and event totals carved from the experiment's metrics
+// diff.
+func runRecord(exp experiments.Experiment, digest string, p manifestParams, diff map[string]float64, phases *obs.Phase) obs.RunRecord {
+	used, fallbacks := obs.EngineCounts(diff)
+	return obs.RunRecord{
+		Experiment:   exp.ID,
+		Title:        exp.Title,
+		ConfigDigest: digest,
+		Engine:       p.engine.String(),
+		Seed:         p.seed,
+		Slots:        p.slots,
+		Batch:        p.batch,
+		Workers:      parallel.Workers(p.workers),
+		Quick:        p.quick,
+		Status:       "ok",
+		WallMillis:   p.elapsed.Milliseconds(),
+		EnginesUsed:  used,
+		Fallbacks:    fallbacks,
+		Events:       int64(diff["sim.events"]),
+		Captures:     int64(diff["sim.captures"]),
+		Phases:       phases,
+	}
 }
 
 // manifestParams carries the per-invocation facts manifestFor records.
@@ -258,6 +370,7 @@ type manifestParams struct {
 	seed    uint64
 	quick   bool
 	workers int
+	batch   int
 	engine  sim.Engine
 	start   time.Time
 	elapsed time.Duration
@@ -271,7 +384,7 @@ type manifestParams struct {
 // metrics block is the experiment's own share of the process counters
 // (the Snapshot diff around its Run call), carved by prefix into
 // run-level ("sim.") and process-level ("cache.", "pool.") blocks.
-func manifestFor(exp experiments.Experiment, csv []byte, diff map[string]float64, p manifestParams) *obs.Manifest {
+func manifestFor(exp experiments.Experiment, csv []byte, diff map[string]float64, digest string, p manifestParams) *obs.Manifest {
 	man := &obs.Manifest{
 		Schema:     obs.ManifestSchema,
 		Experiment: exp.ID,
@@ -285,16 +398,7 @@ func manifestFor(exp experiments.Experiment, csv []byte, diff map[string]float64
 			Workers: parallel.Workers(p.workers),
 			Engine:  p.engine.String(),
 		},
-		// Workers are excluded from the digest: results are worker-
-		// invariant, so two runs differing only in pool size share a
-		// digest (and must share a CSV hash).
-		ConfigDigest: obs.DigestConfig(
-			"experiment="+exp.ID,
-			fmt.Sprintf("slots=%d", p.slots),
-			fmt.Sprintf("seed=%d", p.seed),
-			fmt.Sprintf("quick=%t", p.quick),
-			"engine="+p.engine.String(),
-		),
+		ConfigDigest:  digest,
 		StartedAt:     p.start.UTC().Format(time.RFC3339),
 		WallMillis:    p.elapsed.Milliseconds(),
 		GoVersion:     obs.GoVersion(),

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -214,5 +215,120 @@ func TestTraceRequiresOut(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-run", "fig3a", "-quick", "-trace"}, &sb); err == nil {
 		t.Fatal("-trace without -out accepted")
+	}
+}
+
+// TestSpansFlagKeepsCSVByteIdentical: the phase-span profiler is
+// RNG-neutral end to end — writing a Chrome trace must not change a
+// single CSV byte — and the spans file must be valid trace-event JSON
+// with the run's phases in it.
+func TestSpansFlagKeepsCSVByteIdentical(t *testing.T) {
+	csvFor := func(dir string, extra ...string) []byte {
+		t.Helper()
+		var sb strings.Builder
+		args := append([]string{"-run", "fig3a", "-quick", "-slots", "20000", "-seed", "9", "-out", dir}, extra...)
+		if err := run(args, &sb); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "fig3a.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	base := csvFor(t.TempDir())
+	dir := t.TempDir()
+	got := csvFor(dir, "-spans", "spans.json")
+	if !bytes.Equal(got, base) {
+		t.Errorf("-spans changed the CSV:\n%s\nvs\n%s", got, base)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "spans.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Dur  int64  `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("spans file is not trace-event JSON: %v", err)
+	}
+	names := make(map[string]bool)
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %s: ph = %q", ev.Name, ev.Ph)
+		}
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"fig3a", "run", "solve", "sim.run", "compile", "write"} {
+		if !names[want] {
+			t.Errorf("spans file missing a %q span (have %v)", want, names)
+		}
+	}
+}
+
+// TestRunWritesJournalAndPhases: every -out run journals one wide-event
+// JSON line per experiment and embeds the phase breakdown in a schema-v3
+// manifest that names the journal.
+func TestRunWritesJournalAndPhases(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-run", "fig3a", "-quick", "-slots", "20000", "-seed", "4", "-out", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+
+	man, err := obs.ReadManifest(filepath.Join(dir, "fig3a.manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Schema != obs.ManifestSchema {
+		t.Fatalf("schema = %q, want v3 (%q)", man.Schema, obs.ManifestSchema)
+	}
+	if man.Journal != "runs.jsonl" {
+		t.Fatalf("manifest journal = %q", man.Journal)
+	}
+	if man.Phases == nil || man.Phases.Name != "fig3a" || len(man.Phases.Phases) == 0 {
+		t.Fatalf("manifest phases = %+v", man.Phases)
+	}
+	var simRun *obs.Phase
+	for _, p := range man.Phases.Phases[0].Phases {
+		if p.Name == "sim.run" {
+			simRun = p
+		}
+	}
+	if simRun == nil || simRun.Count == 0 {
+		t.Fatalf("phase tree missing merged sim.run phases: %+v", man.Phases.Phases[0])
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "runs.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if len(lines) != 1 {
+		t.Fatalf("journal lines = %d, want 1", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(lines[0], &rec); err != nil {
+		t.Fatalf("journal line not JSON: %v", err)
+	}
+	if rec["experiment"] != "fig3a" || rec["status"] != "ok" {
+		t.Fatalf("journal record = %v", rec)
+	}
+	if rec["csv"] != "fig3a.csv" || rec["config_digest"] != man.ConfigDigest {
+		t.Fatalf("journal identity = %v", rec)
+	}
+	if rec["events"] == float64(0) {
+		t.Fatal("journal recorded no events")
+	}
+	if eng, _ := rec["engines_used"].(map[string]any); len(eng) == 0 {
+		t.Fatalf("journal engines_used = %v", rec["engines_used"])
+	}
+	if ph, _ := rec["phases"].(map[string]any); ph["name"] != "fig3a" {
+		t.Fatalf("journal phases = %v", rec["phases"])
 	}
 }

@@ -16,7 +16,9 @@
 // verifies. -flight-recorder keeps the last N slot records per sensor
 // in memory and dumps them on invariant violations, sensor faults, and
 // the first energy-denied miss; -flight-dump writes the collected dumps
-// as JSON, and -metrics-addr serves them live at /debug/trace.
+// as JSON, and -metrics-addr serves them live at /debug/trace (plus the
+// run dashboard at /debug/runs). -spans exports the run's phase spans
+// as Chrome trace-event JSON for chrome://tracing or Perfetto.
 package main
 
 import (
@@ -66,6 +68,7 @@ func run(args []string, out io.Writer) error {
 		metrics    = fs.Bool("metrics", false, "collect and print run metrics (miss decomposition, battery occupancy; never changes results)")
 		mAddr      = fs.String("metrics-addr", "", "serve /debug/vars and /debug/pprof on this address while running (e.g. localhost:6060)")
 		traceFile  = fs.String("trace", "", "write a slot-level trace to this file plus a .manifest.json sidecar (implies -metrics; never changes results)")
+		spansFlag  = fs.String("spans", "", "write the run's phase spans as Chrome trace-event JSON to this file (open in chrome://tracing or Perfetto; never changes results)")
 		flightSize = fs.Int("flight-recorder", 0, "arm a flight recorder keeping the last N slot records per sensor (0 disables)")
 		flightDump = fs.String("flight-dump", "", "write flight-recorder dumps as JSON to this file (requires -flight-recorder)")
 	)
@@ -236,16 +239,49 @@ func run(args []string, out io.Writer) error {
 		cfg.Tracer = trace.New(tw, flight)
 	}
 
+	// The phase span is always attached (spans are RNG-neutral and wrap
+	// phases, not slots); the run registers on /debug/runs so a
+	// -metrics-addr server shows it live, and -spans exports the tree.
+	digest := obs.DigestConfig(
+		"experiment=simulate",
+		fmt.Sprintf("slots=%d", cfg.Slots),
+		fmt.Sprintf("seed=%d", cfg.Seed),
+		"engine="+engine.String(),
+	)
+	root := obs.BeginSpan("simulate")
+	active := obs.DefaultRegistry.Begin("simulate", digest, nil, root)
+	cfg.Span = root
+
 	before := obs.Snapshot()
 	start := time.Now()
 	res, err := sim.Run(cfg)
+	root.End()
+	elapsed := time.Since(start)
+	diff := obs.Diff(before, obs.Snapshot())
+	rec := runRecord(cfg, engine, digest, elapsed, diff, root.Breakdown())
 	if err != nil {
+		rec.Status, rec.Error = "error", err.Error()
+		active.Complete(rec)
 		if tf != nil {
 			tf.Close()
 		}
 		return err
 	}
-	elapsed := time.Since(start)
+	active.Complete(rec)
+
+	if *spansFlag != "" {
+		sf, err := os.Create(*spansFlag)
+		if err != nil {
+			return fmt.Errorf("creating spans file: %w", err)
+		}
+		if err := obs.WriteChromeTrace(sf, root); err != nil {
+			sf.Close()
+			return err
+		}
+		if err := sf.Close(); err != nil {
+			return fmt.Errorf("closing spans file: %w", err)
+		}
+	}
 
 	if tw != nil {
 		if err := tw.Close(); err != nil {
@@ -255,7 +291,7 @@ func run(args []string, out io.Writer) error {
 		if err := tf.Close(); err != nil {
 			return fmt.Errorf("trace: %w", err)
 		}
-		if err := writeTraceManifest(*traceFile, tw, flight != nil, cfg, engine, start, elapsed, obs.Diff(before, obs.Snapshot())); err != nil {
+		if err := writeTraceManifest(*traceFile, tw, flight != nil, cfg, engine, digest, start, elapsed, diff, root.Breakdown()); err != nil {
 			return err
 		}
 	}
@@ -317,11 +353,34 @@ func run(args []string, out io.Writer) error {
 	return stopProfiles()
 }
 
+// runRecord assembles the run's registry record: identity, engine
+// attribution, event totals, and the phase breakdown. Status starts
+// "ok"; the error path overwrites it.
+func runRecord(cfg sim.Config, engine sim.Engine, digest string, elapsed time.Duration, diff map[string]float64, phases *obs.Phase) obs.RunRecord {
+	used, fallbacks := obs.EngineCounts(diff)
+	return obs.RunRecord{
+		Experiment:   "simulate",
+		ConfigDigest: digest,
+		Engine:       engine.String(),
+		Seed:         cfg.Seed,
+		Slots:        cfg.Slots,
+		Batch:        cfg.Batch,
+		Workers:      cfg.Workers,
+		Status:       "ok",
+		WallMillis:   elapsed.Milliseconds(),
+		EnginesUsed:  used,
+		Fallbacks:    fallbacks,
+		Events:       int64(diff["sim.events"]),
+		Captures:     int64(diff["sim.captures"]),
+		Phases:       phases,
+	}
+}
+
 // writeTraceManifest writes the <trace>.manifest.json sidecar tying the
-// trace bytes to the run's configuration and metrics, in the same v2
-// schema cmd/experiments uses, so cmd/tracetool replay verifies simulate
-// traces too.
-func writeTraceManifest(tracePath string, tw *trace.Writer, withFlight bool, cfg sim.Config, engine sim.Engine, start time.Time, elapsed time.Duration, diff map[string]float64) error {
+// trace bytes to the run's configuration, metrics, and phase breakdown,
+// in the same schema cmd/experiments uses, so cmd/tracetool replay
+// verifies simulate traces too.
+func writeTraceManifest(tracePath string, tw *trace.Writer, withFlight bool, cfg sim.Config, engine sim.Engine, digest string, start time.Time, elapsed time.Duration, diff map[string]float64, phases *obs.Phase) error {
 	mode := "full"
 	if withFlight {
 		mode = "full+flight"
@@ -335,12 +394,7 @@ func writeTraceManifest(tracePath string, tw *trace.Writer, withFlight bool, cfg
 			Workers: cfg.Workers,
 			Engine:  engine.String(),
 		},
-		ConfigDigest: obs.DigestConfig(
-			"experiment=simulate",
-			fmt.Sprintf("slots=%d", cfg.Slots),
-			fmt.Sprintf("seed=%d", cfg.Seed),
-			"engine="+engine.String(),
-		),
+		ConfigDigest:  digest,
 		StartedAt:     start.UTC().Format(time.RFC3339),
 		WallMillis:    elapsed.Milliseconds(),
 		GoVersion:     obs.GoVersion(),
@@ -357,6 +411,7 @@ func writeTraceManifest(tracePath string, tw *trace.Writer, withFlight bool, cfg
 			Records: c.Records,
 			Spans:   c.Spans,
 		},
+		Phases: phases,
 	}
 	return man.Write(tracePath + ".manifest.json")
 }

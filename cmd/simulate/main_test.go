@@ -120,3 +120,60 @@ func TestFlightDumpRequiresRecorder(t *testing.T) {
 		t.Fatal("-flight-dump without -flight-recorder accepted")
 	}
 }
+
+// TestSpansFlagIsOutputNeutral: the phase tracer must not change a
+// single simulation output line, and the spans file must be valid
+// trace-event JSON covering the engine's phases.
+func TestSpansFlagIsOutputNeutral(t *testing.T) {
+	base := []string{"-T", "50000", "-seed", "9", "-metrics", "-kernel", "on"}
+	var want strings.Builder
+	if err := run(base, &want); err != nil {
+		t.Fatal(err)
+	}
+	spansPath := filepath.Join(t.TempDir(), "spans.json")
+	var got strings.Builder
+	if err := run(append(append([]string{}, base...), "-spans", spansPath), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("-spans changed the output:\n--- with ---\n%s--- without ---\n%s", got.String(), want.String())
+	}
+	data, err := os.ReadFile(spansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("spans file is not trace-event JSON: %v", err)
+	}
+	names := make(map[string]bool)
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, phase := range []string{"simulate", "compile", "exec.kernel"} {
+		if !names[phase] {
+			t.Errorf("spans file missing a %q span (have %v)", phase, names)
+		}
+	}
+}
+
+// TestTraceManifestCarriesPhases: the sidecar written with -trace now
+// embeds the run's phase breakdown (schema v3).
+func TestTraceManifestCarriesPhases(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "run.evtrace")
+	var sb strings.Builder
+	if err := run([]string{"-T", "50000", "-seed", "9", "-trace", tracePath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	man, err := obs.ReadManifest(tracePath + ".manifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Phases == nil || man.Phases.Name != "simulate" || len(man.Phases.Phases) == 0 {
+		t.Fatalf("manifest phases = %+v", man.Phases)
+	}
+}

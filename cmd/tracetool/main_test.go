@@ -194,6 +194,37 @@ func TestReplayMatchesManifest(t *testing.T) {
 	}
 }
 
+// TestReplayAcceptsV2Manifest: manifests written before the v3 phases
+// block (PRs 5–7 artifacts) must keep replaying.
+func TestReplayAcceptsV2Manifest(t *testing.T) {
+	_, manifestPath := writeSample(t, t.TempDir())
+	data, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["schema"] = json.RawMessage(`"` + obs.ManifestSchemaV2 + `"`)
+	delete(raw, "phases")
+	delete(raw, "journal")
+	downgraded, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manifestPath, downgraded, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"replay", manifestPath}, &sb); err != nil {
+		t.Fatalf("v2 manifest rejected by replay: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "replay matches manifest") {
+		t.Errorf("replay output: %s", sb.String())
+	}
+}
+
 func TestReplayDetectsMetricMismatch(t *testing.T) {
 	_, manifestPath := writeSample(t, t.TempDir())
 	man, err := obs.ReadManifest(manifestPath)

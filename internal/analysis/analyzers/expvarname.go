@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"regexp"
 	"strconv"
+	"strings"
 
 	"eventcap/internal/analysis"
 )
@@ -17,6 +18,19 @@ const ExpvarnameMarker = "expvarname:ok"
 // [a-z0-9_]. Examples: sim.miss.asleep, pool.jobs.enqueued,
 // sim.battery.frac_sum.
 var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$`)
+
+// metricSubsystems is the closed set of first segments a metric name
+// may use. Dashboards group by this prefix, so a typo'd or ad-hoc
+// subsystem silently forks the dashboard tree. Adding a real subsystem
+// means adding it here (one line) in the same PR that introduces it.
+var metricSubsystems = map[string]bool{
+	"sim":   true, // engine counters: events, captures, fallbacks, batteries
+	"pool":  true, // worker-pool gauges and latency histograms
+	"trace": true, // flight-recorder dump reasons and ring stats
+	"cache": true, // policy/plan cache hit rates
+	"span":  true, // phase-span tracer lifecycle (span.begun, span.ended)
+	"runs":  true, // run registry for the /debug/runs dashboard
+}
 
 // metricConstructors are the entry points that register a metric (or a
 // metric-backed object, like a flight-recorder dump reason) under the
@@ -39,11 +53,13 @@ var metricConstructors = []struct {
 // these strings, so a stray uppercase letter or hyphen becomes a
 // permanent dashboard migration. Names must be string literals — a
 // computed name cannot be schema-checked statically and defeats
-// grep-ability — and match ^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$.
+// grep-ability — must match ^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$, and
+// must open with a known subsystem segment (metricSubsystems).
 var Expvarname = &analysis.Analyzer{
 	Name: "expvarname",
 	Doc: "obs metric names must be string literals matching the eventcap schema " +
-		"(lowercase dot-separated [a-z0-9_] segments); suppress with // expvarname:ok <reason>",
+		"(lowercase dot-separated [a-z0-9_] segments, known subsystem prefix); " +
+		"suppress with // expvarname:ok <reason>",
 	Run: runExpvarname,
 }
 
@@ -76,8 +92,14 @@ func runExpvarname(pass *analysis.Pass) error {
 			if err != nil {
 				return true
 			}
-			if !metricNameRE.MatchString(name) && !pass.Justified(call.Pos(), ExpvarnameMarker) {
-				pass.Reportf(lit.Pos(), "metric name %q violates the eventcap schema %s (// %s <reason> to suppress)", name, metricNameRE.String(), ExpvarnameMarker)
+			if !metricNameRE.MatchString(name) {
+				if !pass.Justified(call.Pos(), ExpvarnameMarker) {
+					pass.Reportf(lit.Pos(), "metric name %q violates the eventcap schema %s (// %s <reason> to suppress)", name, metricNameRE.String(), ExpvarnameMarker)
+				}
+				return true
+			}
+			if sub, _, _ := strings.Cut(name, "."); !metricSubsystems[sub] && !pass.Justified(call.Pos(), ExpvarnameMarker) {
+				pass.Reportf(lit.Pos(), "metric name %q uses unknown subsystem %q: add it to metricSubsystems in expvarname.go or pick an existing prefix (// %s <reason> to suppress)", name, sub, ExpvarnameMarker)
 			}
 			return true
 		})

@@ -26,6 +26,16 @@ func metrics(suffix string) {
 	_ = obs.NewCounter("sim.engine.fallback.mode") // quiet
 	_ = obs.NewCounter("sim.engine.fallback.Mode") // want `violates the eventcap schema`
 
+	// The observability subsystems added with the phase-span profiler
+	// and the run registry are part of the subsystem allowlist.
+	_ = obs.NewCounter("span.fixture_begun")  // quiet
+	_ = obs.NewGauge("runs.fixture.active")   // quiet
+	_ = obs.NewCounter("spans.fixture_begun") // want `unknown subsystem "spans"`
+	_ = obs.NewGauge("run.fixture.active")    // want `unknown subsystem "run"`
+	_ = obs.NewCounter("dash.fixture.hits")   // want `unknown subsystem "dash"`
+	// expvarname:ok fixture demonstrates a justified one-off subsystem
+	_ = obs.NewCounter("scratch.fixture.hits")
+
 	// Flight-recorder dump reasons register a backing counter, so their
 	// names obey the same schema.
 	_ = trace.NewDumpReason("trace.dump.fixture")  // quiet

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"eventcap/internal/obs"
 	"eventcap/internal/sim"
 	"eventcap/internal/trace"
 )
@@ -44,6 +45,17 @@ type Options struct {
 	// Sweep points then report replication-averaged QoM rather than a
 	// single trajectory.
 	Batch int
+	// Span, when non-nil, is the experiment's phase span: every
+	// simulation the experiment performs forks a "sim.run" child under
+	// it (concurrent sweep points get their own lanes), and drivers with
+	// an explicit policy-solve step mark it with SolvePhase. RNG-neutral
+	// like Tracer — CSVs are byte-identical with or without it.
+	Span *obs.Span
+	// Progress, when non-nil, receives slot-unit work accounting
+	// (B×T×N per simulation) so a live progress line reports true
+	// throughput and ETA under -batch and multi-sensor sweeps. The same
+	// Progress is typically also installed as the pool observer.
+	Progress *obs.Progress
 }
 
 func (o Options) withDefaults() Options {
@@ -65,16 +77,42 @@ func (o Options) withDefaults() Options {
 // runSim is the one simulation entry point the experiment drivers use:
 // sim.Run with metrics collection enabled, so every run of every
 // experiment feeds the process-wide obs totals that cmd/experiments
-// snapshots into run manifests, plus the options' tracer when one is
-// attached. Both are RNG-neutral (sim.Config.Metrics, sim.Config.Tracer),
-// so results are identical to a bare sim.Run.
+// snapshots into run manifests, plus the options' tracer, span, and
+// work accounting when attached. All are RNG-neutral (sim.Config
+// .Metrics/.Tracer/.Span/.Progress), so results are identical to a
+// bare sim.Run.
 func runSim(opts Options, cfg sim.Config) (*sim.Result, error) {
 	cfg.Metrics = true
 	cfg.Tracer = opts.Tracer
 	if opts.Batch > 1 {
 		cfg.Batch = opts.Batch
 	}
+	sp := opts.Span.Fork("sim.run")
+	defer sp.End()
+	cfg.Span = sp
+	if opts.Progress != nil {
+		// One work unit per simulated slot: Slots × replications ×
+		// sensors. The engines report completions at chunk/sensor/run
+		// granularity through cfg.Progress.
+		n, b := cfg.N, cfg.Batch
+		if n < 1 {
+			n = 1
+		}
+		if b < 1 {
+			b = 1
+		}
+		opts.Progress.AddWork(cfg.Slots * int64(n) * int64(b))
+		cfg.Progress = opts.Progress
+	}
 	return sim.Run(cfg)
+}
+
+// SolvePhase marks an explicit policy-solve step on the options' span:
+// call it before solving, run the solve, then call the returned func.
+// A no-op without a span.
+func (o Options) SolvePhase() func() {
+	sp := o.Span.Child("solve")
+	return sp.End
 }
 
 // Series is one labelled curve of a figure.

@@ -64,6 +64,7 @@ func runFig3(id, title string, opts Options, info sim.Info) (*Table, error) {
 	}
 	p := core.DefaultParams()
 
+	solved := opts.SolvePhase()
 	var vec core.Vector
 	var bound float64
 	var policyName string
@@ -88,6 +89,7 @@ func runFig3(id, title string, opts Options, info sim.Info) (*Table, error) {
 	default:
 		return nil, fmt.Errorf("experiments: unsupported info model %d", info)
 	}
+	solved()
 
 	recharges, err := fig3Recharges()
 	if err != nil {

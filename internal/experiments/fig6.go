@@ -59,7 +59,9 @@ func fig6Point(opts Options, n int, c float64, seedBase uint64) (mfi, mpi, ag, p
 	}
 
 	// M-FI: greedy policy at the aggregate recharge rate.
+	solved := opts.SolvePhase()
 	fi, err := core.GreedyFICached(d, aggregate, p)
+	solved()
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}

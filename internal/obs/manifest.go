@@ -11,12 +11,16 @@ import (
 )
 
 // ManifestSchema identifies the manifest format; bump on breaking field
-// changes. v2 adds the optional trace block; v1 manifests (no trace)
-// remain readable.
-const ManifestSchema = "eventcap/run-manifest/v2"
+// changes. v3 adds the optional phase-breakdown and journal fields; v2
+// added the trace block. Both predecessors remain readable.
+const ManifestSchema = "eventcap/run-manifest/v3"
 
-// ManifestSchemaV1 is the previous schema version, still accepted by
-// ReadManifest (v2 only adds optional fields).
+// ManifestSchemaV2 is the previous schema version, still accepted by
+// ReadManifest (v3 only adds optional fields).
+const ManifestSchemaV2 = "eventcap/run-manifest/v2"
+
+// ManifestSchemaV1 is the original schema version, still accepted by
+// ReadManifest.
 const ManifestSchemaV1 = "eventcap/run-manifest/v1"
 
 // ManifestConfig is the experiment configuration block: everything
@@ -73,6 +77,14 @@ type Manifest struct {
 	// Trace describes the slot-level trace captured alongside the CSV,
 	// when tracing was requested (schema v2).
 	Trace *TraceInfo `json:"trace,omitempty"`
+
+	// Phases is the run's span breakdown — where the wall time went,
+	// phase by phase (schema v3). See Span.Breakdown.
+	Phases *Phase `json:"phases,omitempty"`
+
+	// Journal is the base name of the run journal holding this run's
+	// wide-event record, when one was written (schema v3).
+	Journal string `json:"journal,omitempty"`
 }
 
 // TraceInfo ties a manifest to its trace file: cmd/tracetool's replay
@@ -132,9 +144,9 @@ func ReadManifest(path string) (*Manifest, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("obs: parsing manifest %s: %w", path, err)
 	}
-	if m.Schema != ManifestSchema && m.Schema != ManifestSchemaV1 {
-		return nil, fmt.Errorf("obs: manifest %s has schema %q, want %q or %q",
-			path, m.Schema, ManifestSchema, ManifestSchemaV1)
+	if m.Schema != ManifestSchema && m.Schema != ManifestSchemaV2 && m.Schema != ManifestSchemaV1 {
+		return nil, fmt.Errorf("obs: manifest %s has schema %q, want %q, %q or %q",
+			path, m.Schema, ManifestSchema, ManifestSchemaV2, ManifestSchemaV1)
 	}
 	return &m, nil
 }

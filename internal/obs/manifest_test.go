@@ -24,6 +24,12 @@ func TestManifestRoundTrip(t *testing.T) {
 		Process:      map[string]float64{"pool.jobs.done": 5},
 		Profiles:     map[string]string{"cpu": "cpu.prof"},
 		Trace:        &TraceInfo{File: "fig3a.evtrace", SHA256: SHA256Hex(nil), Mode: "full", Runs: 2, Records: 40},
+		Phases: &Phase{
+			Name: "fig3a", Count: 1, WallMicros: 1234000,
+			Counters: map[string]int64{"slots": 100000},
+			Phases:   []*Phase{{Name: "solve", Count: 1, WallMicros: 200000}},
+		},
+		Journal: "runs.jsonl",
 	}
 	// Write fills Schema and BinaryVersion-style fields as given.
 	if err := want.Write(path); err != nil {
@@ -39,19 +45,22 @@ func TestManifestRoundTrip(t *testing.T) {
 	}
 }
 
-func TestReadManifestAcceptsV1(t *testing.T) {
+func TestReadManifestAcceptsOlderSchemas(t *testing.T) {
 	dir := t.TempDir()
-	path := filepath.Join(dir, "old.manifest.json")
-	m := &Manifest{Schema: ManifestSchemaV1, Experiment: "fig3a", CSV: "fig3a.csv"}
-	if err := m.Write(path); err != nil {
-		t.Fatal(err)
-	}
-	got, err := ReadManifest(path)
-	if err != nil {
-		t.Fatalf("v1 manifest rejected: %v", err)
-	}
-	if got.Schema != ManifestSchemaV1 || got.Trace != nil {
-		t.Fatalf("v1 manifest misread: %+v", got)
+	for _, schema := range []string{ManifestSchemaV1, ManifestSchemaV2} {
+		path := filepath.Join(dir, strings.ReplaceAll(schema, "/", "_")+".manifest.json")
+		m := &Manifest{Schema: schema, Experiment: "fig3a", CSV: "fig3a.csv"}
+		if err := m.Write(path); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadManifest(path)
+		if err != nil {
+			t.Fatalf("%s manifest rejected: %v", schema, err)
+		}
+		// Older manifests simply lack the newer optional blocks.
+		if got.Schema != schema || got.Trace != nil || got.Phases != nil || got.Journal != "" {
+			t.Fatalf("%s manifest misread: %+v", schema, got)
+		}
 	}
 }
 

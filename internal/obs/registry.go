@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry metrics: runs registered since process start, currently
+// active (with high-water mark), and completed.
+var (
+	RunsRegistered = NewCounter("runs.registered")
+	RunsActive     = NewGauge("runs.active")
+	RunsCompleted  = NewCounter("runs.completed")
+)
+
+// completedRingSize bounds the registry's completed-run history; older
+// entries fall off (the journal on disk keeps the full record).
+const completedRingSize = 64
+
+// Registry tracks the process's runs for the /debug/runs dashboard:
+// active runs (with their live Progress and span tree) and a bounded
+// ring of completed ones (their final RunRecords). A driver Begins a
+// run before executing it and Completes it with the same record it
+// journals; the long-running daemon of ROADMAP's
+// simulation-as-a-service item gets its status surface from this type.
+type Registry struct {
+	mu        sync.Mutex
+	nextID    int64
+	active    map[int64]*ActiveRun
+	completed []CompletedRun // oldest first, capped at completedRingSize
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{active: make(map[int64]*ActiveRun)}
+}
+
+// DefaultRegistry is the process-wide registry served at /debug/runs by
+// DebugMux.
+var DefaultRegistry = NewRegistry()
+
+// ActiveRun is one in-flight run. Progress and Span are optional live
+// views (nil when the driver doesn't track them).
+type ActiveRun struct {
+	reg *Registry
+	id  int64
+
+	Name     string
+	Digest   string
+	Started  time.Time
+	Progress *Progress
+	Span     *Span
+}
+
+// CompletedRun is one finished run: when it finished and its final
+// journal record.
+type CompletedRun struct {
+	Finished time.Time
+	Record   RunRecord
+}
+
+// Begin registers an in-flight run. prog and span may be nil.
+func (r *Registry) Begin(name, digest string, prog *Progress, span *Span) *ActiveRun {
+	a := &ActiveRun{
+		reg:      r,
+		Name:     name,
+		Digest:   digest,
+		Started:  time.Now(),
+		Progress: prog,
+		Span:     span,
+	}
+	r.mu.Lock()
+	r.nextID++
+	a.id = r.nextID
+	r.active[a.id] = a
+	r.mu.Unlock()
+	RunsRegistered.Inc()
+	RunsActive.Add(1)
+	return a
+}
+
+// Complete moves the run from active to the completed ring with its
+// final record. Nil-safe and idempotent (the second call is a no-op),
+// so error paths can Complete unconditionally.
+func (a *ActiveRun) Complete(rec RunRecord) {
+	if a == nil {
+		return
+	}
+	r := a.reg
+	r.mu.Lock()
+	if _, ok := r.active[a.id]; !ok {
+		r.mu.Unlock()
+		return
+	}
+	delete(r.active, a.id)
+	r.completed = append(r.completed, CompletedRun{Finished: time.Now(), Record: rec})
+	if len(r.completed) > completedRingSize {
+		r.completed = r.completed[len(r.completed)-completedRingSize:]
+	}
+	r.mu.Unlock()
+	RunsActive.Add(-1)
+	RunsCompleted.Inc()
+}
+
+// ActiveRuns returns the in-flight runs in registration order.
+func (r *Registry) ActiveRuns() []*ActiveRun {
+	r.mu.Lock()
+	out := make([]*ActiveRun, 0, len(r.active))
+	for _, a := range r.active {
+		out = append(out, a)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// CompletedRuns returns the completed ring, most recent first.
+func (r *Registry) CompletedRuns() []CompletedRun {
+	r.mu.Lock()
+	out := make([]CompletedRun, len(r.completed))
+	for i, c := range r.completed {
+		out[len(r.completed)-1-i] = c
+	}
+	r.mu.Unlock()
+	return out
+}

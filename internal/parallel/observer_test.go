@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -117,5 +118,59 @@ func TestPoolCountersDrainPending(t *testing.T) {
 	}
 	if obs.PoolLatency.Count() == 0 {
 		t.Error("latency histogram empty")
+	}
+}
+
+// TestMapInnerSkipsObserver: engine-internal fan-out must keep the
+// pool.* metrics (real pool work) but stay invisible to the process
+// Observer, so nested pools cannot inflate progress job counts or
+// double-count busy time.
+func TestMapInnerSkipsObserver(t *testing.T) {
+	o := &countingObserver{}
+	SetObserver(o)
+	defer SetObserver(nil)
+
+	done0 := obs.PoolJobsDone.Load()
+	enq0 := obs.PoolJobsEnqueued.Load()
+
+	// An outer driver job fans inner jobs out through MapInner, the
+	// shape every batch run and independent fleet has.
+	if _, err := Map(2, 3, func(i int) (int, error) {
+		inner, err := MapInner(2, 5, func(j int) (int, error) { return j, nil })
+		return len(inner), err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if o.enqueued.Load() != 3 || o.finished.Load() != 3 {
+		t.Fatalf("observer saw %d enqueued / %d finished, want only the 3 outer jobs",
+			o.enqueued.Load(), o.finished.Load())
+	}
+	// The metrics still count all 3 + 3×5 jobs.
+	if got := obs.PoolJobsEnqueued.Load() - enq0; got != 18 {
+		t.Fatalf("pool.jobs.enqueued delta = %d, want 18", got)
+	}
+	if got := obs.PoolJobsDone.Load() - done0; got != 18 {
+		t.Fatalf("pool.jobs.done delta = %d, want 18", got)
+	}
+}
+
+func TestMapInnerSemanticsMatchMap(t *testing.T) {
+	got, err := MapInner(4, 10, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if _, err := MapInner(2, 4, func(i int) (int, error) {
+		if i == 1 {
+			return 0, errors.New("inner boom")
+		}
+		return i, nil
+	}); err == nil || !strings.Contains(err.Error(), "inner boom") {
+		t.Fatalf("err = %v", err)
 	}
 }

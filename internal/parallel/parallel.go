@@ -94,6 +94,21 @@ func loadObserver() Observer {
 // completion. A panic inside fn is captured as a *PanicError for that
 // job rather than crashing the pool.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return mapPool(workers, n, fn, true)
+}
+
+// MapInner is Map for engine-internal fan-out — batch chunks, the
+// per-sensor jobs of an independent fleet. The jobs still count into
+// the pool.* metrics (they are real pool work), but the process
+// Observer is not notified: an outer job's wall time already includes
+// its inner jobs, so reporting both would inflate the progress job
+// totals and double-count busy time, which is exactly what made
+// -progress ETAs wrong under -batch and fig6 fleets.
+func MapInner[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return mapPool(workers, n, fn, false)
+}
+
+func mapPool[T any](workers, n int, fn func(i int) (T, error), notify bool) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -101,7 +116,10 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if w > n {
 		w = n
 	}
-	o := loadObserver()
+	var o Observer
+	if notify {
+		o = loadObserver()
+	}
 	obs.PoolJobsEnqueued.Add(int64(n))
 	obs.PoolPending.Add(int64(n))
 	if o != nil {

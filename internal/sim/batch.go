@@ -7,6 +7,7 @@ import (
 	"eventcap/internal/core"
 	"eventcap/internal/dist"
 	"eventcap/internal/energy"
+	"eventcap/internal/obs"
 	"eventcap/internal/parallel"
 	"eventcap/internal/rng"
 )
@@ -85,15 +86,16 @@ func batchReusable(rech energy.FastForwarder) bool {
 // independent engine's) plus two batch-only conditions: no slot tracer
 // (the engine reports aggregates, never slot records), and recharge
 // processes whose per-run state — if any — can be reset between
-// replications.
-func compileBatch(cfg *Config) (*batchPlan, fallback) {
+// replications. sp (nilable) is the caller's "compile" span; the
+// batch-table build gets its own child under it.
+func compileBatch(cfg *Config, sp *obs.Span) (*batchPlan, fallback) {
 	if cfg.Tracer != nil {
 		return nil, fallback{"tracer", "slot tracing requested"}
 	}
 	kp, fb := compileKernel(cfg)
 	if kp == nil {
 		if cfg.independentSensors() {
-			return compileBatchIndependent(cfg)
+			return compileBatchIndependent(cfg, sp)
 		}
 		return nil, fb
 	}
@@ -102,10 +104,12 @@ func compileBatch(cfg *Config) (*batchPlan, fallback) {
 			return nil, fallback{"recharge", fmt.Sprintf("recharge %s carries per-run state without Reset", r.Name())}
 		}
 	}
+	tsp := sp.Child("batch.table")
 	plan := &batchPlan{kernel: kp, table: core.CompileBatch(kp.table)}
 	if s := dist.AsInverseSampler(cfg.Dist); s != nil {
 		plan.quant = dist.NewQuantileTable(s)
 	}
+	tsp.End()
 	return plan, fallback{}
 }
 
@@ -113,7 +117,7 @@ func compileBatch(cfg *Config) (*batchPlan, fallback) {
 // ModeAll+PartialInfo fleets: every sensor must compile to a per-sensor
 // plan, and faults stay on the per-replication fallback (a truncated
 // sensor is cheap there and rare enough not to earn a batched loop).
-func compileBatchIndependent(cfg *Config) (*batchPlan, fallback) {
+func compileBatchIndependent(cfg *Config, sp *obs.Span) (*batchPlan, fallback) {
 	if len(cfg.FailAt) > 0 {
 		return nil, fallback{"fault", "fault injection requested"}
 	}
@@ -126,10 +130,12 @@ func compileBatchIndependent(cfg *Config) (*batchPlan, fallback) {
 			return nil, fallback{"recharge", fmt.Sprintf("recharge %s carries per-run state without Reset", plans[s].recharge.Name())}
 		}
 	}
+	tsp := sp.Child("batch.table")
 	plan := &batchPlan{indep: plans}
 	if s := dist.AsInverseSampler(cfg.Dist); s != nil {
 		plan.quant = dist.NewQuantileTable(s)
 	}
+	tsp.End()
 	return plan, fallback{}
 }
 
@@ -162,11 +168,19 @@ func runBatch(cfg Config, plan *batchPlan) (*Result, error) {
 	res := &Result{Slots: cfg.Slots, Sensors: make([]SensorStats, reps*n), Engine: EngineBatch}
 	sensors := res.Sensors
 
+	ex := cfg.Span.Child("exec.batch")
+	defer ex.End()
+	ex.Count("replications", int64(reps))
+	ex.Count("chunks", int64(numChunks))
+	ex.Count("slots", cfg.Slots*int64(reps)*int64(n))
+
 	type chunkOut struct {
 		events, captures int64
 		m                *Metrics
 	}
-	outs, err := parallel.Map(cfg.Workers, numChunks, func(ci int) (chunkOut, error) {
+	outs, err := parallel.MapInner(cfg.Workers, numChunks, func(ci int) (chunkOut, error) {
+		csp := ex.Fork("chunk")
+		defer csp.End()
 		w, err := newBatchRunner(&cfg, plan)
 		if err != nil {
 			return chunkOut{}, err
@@ -180,17 +194,20 @@ func runBatch(cfg Config, plan *batchPlan) (*Result, error) {
 		if hi > reps {
 			hi = reps
 		}
+		csp.Count("replications", int64(hi-lo))
 		for r := lo; r < hi; r++ {
 			ev, cp := w.simulate(&cfg, plan, uint64(r), sensors[r*n:(r+1)*n], out.m, r == 0)
 			out.events += ev
 			out.captures += cp
 		}
+		cfg.Progress.FinishWork(cfg.Slots * int64(hi-lo) * int64(n))
 		return out, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 
+	agg := ex.Child("aggregate")
 	var m *Metrics
 	if cfg.Metrics {
 		m = &Metrics{}
@@ -213,6 +230,7 @@ func runBatch(cfg Config, plan *batchPlan) (*Result, error) {
 	if m != nil {
 		m.publish(res)
 	}
+	agg.End()
 	return res, nil
 }
 
@@ -547,6 +565,9 @@ func (w *batchWorker) awakeRun(n int64, cost, delta1 float64) bool {
 // the aggregate does not publish again.
 func runBatchFallback(cfg Config) (*Result, error) {
 	reps := cfg.Batch
+	ex := cfg.Span.Child("exec.batch_fallback")
+	defer ex.End()
+	ex.Count("replications", int64(reps))
 	res := &Result{Slots: cfg.Slots}
 	var m *Metrics
 	if cfg.Metrics {
@@ -558,7 +579,13 @@ func runBatchFallback(cfg Config) (*Result, error) {
 		sub.Batch = 0
 		sub.BatchChunk = 0
 		sub.Seed = cfg.Seed + uint64(r)
+		// Every replication's compile/exec spans nest under this phase;
+		// replication 0 stands for all of them (spans are per-phase, and
+		// B sequential identical trees would bloat the export), matching
+		// the Trace/Timeline convention below.
+		sub.Span = ex
 		if r > 0 {
+			sub.Span = nil
 			sub.Trace = nil
 			sub.Tracer = nil
 			sub.SampleEvery = 0

@@ -270,6 +270,11 @@ func compileKernel(cfg *Config) (*kernelPlan, fallback) {
 // recharge the recharge stream is consumed in batches and results agree in
 // law (see energy.FastForwarder).
 func runKernel(cfg Config, plan *kernelPlan) (*Result, error) {
+	ex := cfg.Span.Child("exec.kernel")
+	defer ex.End()
+	ex.Count("slots", cfg.Slots)
+	ex.Count("sensors", int64(plan.n))
+	defer cfg.Progress.FinishWork(cfg.Slots * int64(plan.n))
 	if plan.n > 1 {
 		return runKernelMulti(cfg, plan)
 	}

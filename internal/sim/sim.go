@@ -15,6 +15,7 @@ import (
 	"eventcap/internal/core"
 	"eventcap/internal/dist"
 	"eventcap/internal/energy"
+	"eventcap/internal/obs"
 	"eventcap/internal/parallel"
 	"eventcap/internal/rng"
 	"eventcap/internal/trace"
@@ -270,6 +271,22 @@ type Config struct {
 	// replication streams derive from Seed + r alone, never from the
 	// sharding.
 	BatchChunk int
+
+	// Span, when non-nil, is the parent span this run records its phase
+	// timings under: a "compile" child around the engine probe, then one
+	// "exec.<engine>" child around execution (with per-chunk forks and
+	// an aggregation child on the batch engine). Spans wrap phases,
+	// never the slot loop, and are RNG-neutral like Metrics and Tracer —
+	// results are byte-identical with or without one attached (asserted
+	// by TestSpansDoNotChangeResults).
+	Span *obs.Span
+
+	// Progress, when non-nil, receives slot-unit work completions
+	// (obs.Progress.FinishWork) at engine phase boundaries — per batch
+	// chunk, per fleet sensor, per run — so a live progress line moves
+	// inside long runs. RNG-neutral; reporting granularity never touches
+	// a random stream.
+	Progress *obs.Progress
 }
 
 func (c *Config) validate() error {
@@ -348,8 +365,13 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	// Each engine probe below runs under a "compile" child span; a probe
+	// that declines counts the structural reason on the span, mirroring
+	// the sim.engine.fallback.* counters.
 	if cfg.Engine == EngineBatch {
-		plan, fb := compileBatch(&cfg)
+		csp := cfg.Span.Child("compile")
+		plan, fb := compileBatch(&cfg, csp)
+		csp.End()
 		if plan == nil {
 			return nil, fmt.Errorf("sim: batch engine unavailable: %s", fb.reason)
 		}
@@ -357,35 +379,45 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.Batch > 1 {
 		if cfg.Engine == EngineAuto {
-			plan, fb := compileBatch(&cfg)
+			csp := cfg.Span.Child("compile")
+			plan, fb := compileBatch(&cfg, csp)
 			if plan != nil {
+				csp.End()
 				return runBatch(cfg, plan)
 			}
 			// The per-replication fallback runs may record further kernel
 			// declines below; this one attributes the batch decline itself.
+			csp.Count("fallback."+fb.slug, 1)
+			csp.End()
 			fb.record()
 		}
 		return runBatchFallback(cfg)
 	}
 	switch cfg.Engine {
 	case EngineKernel:
+		csp := cfg.Span.Child("compile")
 		plan, fb := compileKernel(&cfg)
 		if plan != nil {
+			csp.End()
 			return runKernel(cfg, plan)
 		}
 		if cfg.independentSensors() {
 			ip, ifb := compileIndependent(&cfg)
+			csp.End()
 			if ip != nil {
 				return runIndependent(cfg, ip)
 			}
 			return nil, fmt.Errorf("sim: kernel engine unavailable: %s", ifb.reason)
 		}
+		csp.End()
 		return nil, fmt.Errorf("sim: kernel engine unavailable: %s", fb.reason)
 	case EngineReference:
 		// fall through to the interpreted paths below
 	default: // EngineAuto
+		csp := cfg.Span.Child("compile")
 		plan, fb := compileKernel(&cfg)
 		if plan != nil {
+			csp.End()
 			return runKernel(cfg, plan)
 		}
 		if cfg.independentSensors() {
@@ -394,16 +426,26 @@ func Run(cfg Config) (*Result, error) {
 			// specific of the two decline reasons.
 			ip, ifb := compileIndependent(&cfg)
 			if ip != nil {
+				csp.End()
 				return runIndependent(cfg, ip)
 			}
+			csp.Count("fallback."+ifb.slug, 1)
+			csp.End()
 			ifb.record()
 		} else {
+			csp.Count("fallback."+fb.slug, 1)
+			csp.End()
 			fb.record()
 		}
 	}
 	if cfg.independentSensors() {
 		return runIndependent(cfg, nil)
 	}
+	ex := cfg.Span.Child("exec.reference")
+	defer ex.End()
+	ex.Count("slots", cfg.Slots)
+	ex.Count("sensors", int64(cfg.N))
+	defer cfg.Progress.FinishWork(cfg.Slots * int64(cfg.N))
 	root := rng.New(cfg.Seed, 0x5eed) // seedflow:ok run-root: the reference engine's root stream, derived from Config.Seed
 	eventSrc := root.Split(1)
 	decisionSrc := root.Split(2)
@@ -771,6 +813,13 @@ func Run(cfg Config) (*Result, error) {
 // path is byte-identical to the interpreted one; under Bernoulli it is
 // equal in law, the standard FastForwarder clause.
 func runIndependent(cfg Config, plans []indepSensorPlan) (*Result, error) {
+	ex := cfg.Span.Child("exec.independent")
+	defer ex.End()
+	ex.Count("slots", cfg.Slots)
+	ex.Count("sensors", int64(cfg.N))
+	if plans != nil {
+		ex.Count("compiled", 1)
+	}
 	root := rng.New(cfg.Seed, 0x5eed) // seedflow:ok run-root: mirrors Run's stream layout exactly
 	eventSrc := root.Split(1)
 	_ = root.Split(2) // keep recharge streams aligned with the sequential layout
@@ -828,7 +877,8 @@ func runIndependent(cfg Config, plans []indepSensorPlan) (*Result, error) {
 		denied   []bool // energy-denied attempts per event (metrics/trace only)
 		m        *Metrics
 	}
-	outs, err := parallel.Map(workers, cfg.N, func(s int) (sensorOut, error) {
+	outs, err := parallel.MapInner(workers, cfg.N, func(s int) (sensorOut, error) {
+		defer cfg.Progress.FinishWork(cfg.Slots)
 		b, err := energy.NewBattery(cfg.BatteryCap, cfg.InitialBattery)
 		if err != nil {
 			return sensorOut{}, err
