@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all check vet build test lint fuzz-smoke race bench-smoke bench bench-batch bench-multi bench-kernel-json bench-batch-json bench-multi-json bench-obs-json bench-trace-json bench-span-json benchtraj bench-check trace-verify clean
+.PHONY: all check vet build test lint lint-baseline fuzz-smoke race bench-smoke bench bench-batch bench-multi bench-kernel-json bench-batch-json bench-multi-json bench-obs-json bench-trace-json bench-span-json benchtraj bench-check trace-verify clean
 
 all: check
 
@@ -21,18 +21,26 @@ build:
 test:
 	$(GO) test ./...
 
-# The determinism & invariant lint suite (DESIGN.md §10): five custom
-# analyzers over the module, zero unsuppressed findings allowed.
-# govulncheck needs network access to fetch the vulnerability DB, so it
-# runs only where installed (the CI lint job installs it); the custom
-# analyzers are the offline-safe hard gate.
+# The determinism & invariant lint suite (DESIGN.md §10, §15): eight
+# custom analyzers over the module, zero findings beyond the committed
+# baseline allowed (exit 0 clean, 1 findings, 2 load error — see
+# cmd/eventcap-lint). govulncheck needs network access to fetch the
+# vulnerability DB, so it runs only where installed (the CI lint job
+# installs a pinned version and fails on findings); the custom analyzers
+# are the offline-safe hard gate.
 lint:
-	$(GO) run ./cmd/eventcap-lint ./...
+	$(GO) run ./cmd/eventcap-lint -baseline lint-baseline.json ./...
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./...; \
 	else \
 		echo "lint: govulncheck not installed; skipped (the CI lint job runs it)"; \
 	fi
+
+# Refresh the lint debt ledger. Only for acknowledging reviewed findings
+# that cannot be fixed in the same change — document each entry's why
+# field before committing.
+lint-baseline:
+	$(GO) run ./cmd/eventcap-lint -baseline lint-baseline.json -write-baseline ./...
 
 # Short-budget fuzzing of the numeric contracts: binomial sampling vs
 # CDF inversion, policy serialization round-trips, and the O(1)

@@ -1,0 +1,162 @@
+package main
+
+// The lint baseline is a committed ledger of accepted findings: debt
+// acknowledged, reviewed, and tracked rather than silenced at the source
+// with a justification comment. Entries are keyed position-free by
+// (file, analyzer, message) with an occurrence count, so edits that only
+// shift line numbers do not invalidate the ledger, while fixing one of
+// two identical findings in a file does surface the improvement (the
+// entry goes stale and the run says so).
+//
+// Format (eventcap/lint-baseline/v1):
+//
+//	{
+//	  "schema": "eventcap/lint-baseline/v1",
+//	  "findings": [
+//	    {"file": "cmd/x/main.go", "analyzer": "closecheck",
+//	     "message": "...", "count": 1, "why": "reviewed: ..."}
+//	  ]
+//	}
+//
+// The why field is for humans and reviewers; the tool preserves but does
+// not interpret it. Regenerate with -write-baseline (which leaves why
+// empty for the author to fill in) and prune stale entries promptly.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+const baselineSchema = "eventcap/lint-baseline/v1"
+
+type baselineKey struct {
+	File     string
+	Analyzer string
+	Message  string
+}
+
+type baselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+	Why      string `json:"why,omitempty"`
+}
+
+type baselineFile struct {
+	Schema   string          `json:"schema"`
+	Findings []baselineEntry `json:"findings"`
+}
+
+// baseline is the loaded ledger plus consumption bookkeeping: partition
+// decrements remaining counts, and what is left over is stale debt.
+type baseline struct {
+	entries   []baselineEntry
+	remaining map[baselineKey]int
+	why       map[baselineKey]string
+}
+
+func readBaselineFile(path string) (*baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if bf.Schema != baselineSchema {
+		return nil, fmt.Errorf("baseline %s: schema %q, want %q", path, bf.Schema, baselineSchema)
+	}
+	b := &baseline{
+		entries:   bf.Findings,
+		remaining: make(map[baselineKey]int, len(bf.Findings)),
+		why:       make(map[baselineKey]string, len(bf.Findings)),
+	}
+	for _, e := range bf.Findings {
+		k := baselineKey{File: e.File, Analyzer: e.Analyzer, Message: e.Message}
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		b.remaining[k] += n
+		if e.Why != "" {
+			b.why[k] = e.Why
+		}
+	}
+	return b, nil
+}
+
+// partition splits findings into fresh (not covered by the baseline) and
+// suppressed (covered; value is the entry's why text). A nil baseline
+// suppresses nothing. Each baseline entry absorbs at most Count
+// occurrences of its key; extras are fresh.
+func (b *baseline) partition(findings []Finding) (fresh []Finding, suppressed map[int]string) {
+	suppressed = make(map[int]string)
+	if b == nil {
+		return findings, suppressed
+	}
+	for i, f := range findings {
+		k := f.key()
+		if b.remaining[k] > 0 {
+			b.remaining[k]--
+			suppressed[i] = b.why[k]
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh, suppressed
+}
+
+// stale returns the baseline entries with unconsumed count after
+// partition: debt that has been paid and should be pruned.
+func (b *baseline) stale() []baselineEntry {
+	if b == nil {
+		return nil
+	}
+	var out []baselineEntry
+	for _, e := range b.entries {
+		k := baselineKey{File: e.File, Analyzer: e.Analyzer, Message: e.Message}
+		if b.remaining[k] > 0 {
+			b.remaining[k] = 0 // report duplicate-key entries once
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// writeBaselineFile regenerates the ledger from the current findings,
+// aggregating identical keys into counts, sorted for stable diffs. The
+// why fields start empty: the author documents each debt before commit.
+func writeBaselineFile(path string, findings []Finding) error {
+	counts := make(map[baselineKey]int)
+	for _, f := range findings {
+		counts[f.key()]++
+	}
+	keys := make([]baselineKey, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].File != keys[j].File {
+			return keys[i].File < keys[j].File
+		}
+		if keys[i].Analyzer != keys[j].Analyzer {
+			return keys[i].Analyzer < keys[j].Analyzer
+		}
+		return keys[i].Message < keys[j].Message
+	})
+	bf := baselineFile{Schema: baselineSchema, Findings: make([]baselineEntry, 0, len(keys))}
+	for _, k := range keys {
+		bf.Findings = append(bf.Findings, baselineEntry{
+			File: k.File, Analyzer: k.Analyzer, Message: k.Message, Count: counts[k],
+		})
+	}
+	data, err := json.MarshalIndent(&bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,22 +1,31 @@
 // Command eventcap-lint runs the repository's determinism and invariant
-// lint suite (DESIGN.md §10): five custom analyzers — nondeterm,
-// floateq, probrange, seedflow, expvarname — over the module's
-// packages, scoped per analyzers.For. It exits nonzero when any
-// unsuppressed finding remains, which is what makes `make lint` and the
-// CI lint job hard gates.
+// lint suite (DESIGN.md §10, §15): eight custom analyzers — nondeterm,
+// floateq, probrange, seedflow, expvarname, spanend, lockbalance,
+// closecheck — over the module's packages, scoped per analyzers.For. It
+// exits nonzero when any unsuppressed finding remains, which is what
+// makes `make lint` and the CI lint job hard gates.
 //
 // Usage:
 //
-//	eventcap-lint [-list] [-C dir] [packages ...]
+//	eventcap-lint [-list] [-C dir] [-sarif file] [-baseline file]
+//	              [-write-baseline] [packages ...]
 //
 // With no package arguments it lints ./.... -list prints the registered
-// analyzer suite and exits.
+// analyzer suite and exits. -sarif writes the full result set (including
+// baselined findings, marked suppressed) as SARIF 2.1.0 for code-scanning
+// uploads. -baseline reads a committed debt ledger (see baseline.go) and
+// exits clean when every finding is accounted for; -write-baseline
+// regenerates that ledger from the current findings.
+//
+// Exit codes: 0 — no findings beyond the baseline; 1 — new findings;
+// 2 — load, type-check or usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"eventcap/internal/analysis"
 	"eventcap/internal/analysis/analyzers"
@@ -32,6 +41,9 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "print the registered analyzers and exit")
 	dir := fs.String("C", ".", "directory to run in (the module root)")
+	sarifPath := fs.String("sarif", "", "write findings as SARIF 2.1.0 to this file")
+	baselinePath := fs.String("baseline", "", "accept findings recorded in this baseline file")
+	writeBaseline := fs.Bool("write-baseline", false, "regenerate the -baseline file from current findings and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -41,33 +53,98 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		return 0
 	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(stderr, "eventcap-lint: -write-baseline requires -baseline <file>")
+		return 2
+	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := Lint(*dir, patterns)
+	findings, err := Lint(*dir, patterns)
 	if err != nil {
 		fmt.Fprintln(stderr, "eventcap-lint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+
+	if *writeBaseline {
+		if err := writeBaselineFile(*baselinePath, findings); err != nil {
+			fmt.Fprintln(stderr, "eventcap-lint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "eventcap-lint: wrote %d baseline entr(ies) to %s\n", len(findings), *baselinePath)
+		return 0
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "eventcap-lint: %d finding(s)\n", len(diags))
+
+	var bl *baseline
+	if *baselinePath != "" {
+		bl, err = readBaselineFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "eventcap-lint:", err)
+			return 2
+		}
+	}
+	fresh, suppressed := bl.partition(findings)
+
+	if *sarifPath != "" {
+		if err := writeSARIFFile(*sarifPath, findings, suppressed); err != nil {
+			fmt.Fprintln(stderr, "eventcap-lint:", err)
+			return 2
+		}
+	}
+	for _, f := range fresh {
+		fmt.Fprintln(stdout, f)
+	}
+	if n := len(findings) - len(fresh); n > 0 {
+		fmt.Fprintf(stderr, "eventcap-lint: %d finding(s) suppressed by baseline %s\n", n, *baselinePath)
+	}
+	if stale := bl.stale(); len(stale) > 0 {
+		fmt.Fprintf(stderr, "eventcap-lint: %d stale baseline entr(ies) — the debt was paid, prune them:\n", len(stale))
+		for _, e := range stale {
+			fmt.Fprintf(stderr, "  %s [%s] %s\n", e.File, e.Analyzer, e.Message)
+		}
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(stderr, "eventcap-lint: %d finding(s)\n", len(fresh))
 		return 1
 	}
 	return 0
 }
 
+// Finding is one diagnostic located in the source tree. File is
+// module-root-relative with forward slashes, so findings are stable
+// across checkouts and usable as baseline keys and SARIF URIs.
+type Finding struct {
+	File     string
+	Line     int
+	Col      int
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// key identifies a finding for baseline matching: position-free, so
+// unrelated edits shifting line numbers do not invalidate the ledger.
+func (f Finding) key() baselineKey {
+	return baselineKey{File: f.File, Analyzer: f.Analyzer, Message: f.Message}
+}
+
 // Lint loads the packages matched by patterns under dir and runs each
-// applicable analyzer, returning formatted findings sorted by position.
-func Lint(dir string, patterns []string) ([]string, error) {
+// applicable analyzer, returning findings in SortDiagnostics order
+// (per package: by file, line, column).
+func Lint(dir string, patterns []string) ([]Finding, error) {
 	pkgs, err := load.Packages(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
-	var out []string
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
 	for _, pkg := range pkgs {
 		suite := analyzers.For(pkg.ImportPath)
 		if len(suite) == 0 {
@@ -90,9 +167,28 @@ func Lint(dir string, patterns []string) ([]string, error) {
 		analysis.SortDiagnostics(pkg.Fset, diags)
 		for _, d := range diags {
 			pos := pkg.Fset.Position(d.Pos)
-			out = append(out, fmt.Sprintf("%s:%d:%d: [%s] %s",
-				pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message))
+			out = append(out, Finding{
+				File:     relPath(absDir, pos.Filename),
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
 		}
 	}
 	return out, nil
+}
+
+// relPath rewrites an absolute source path as module-root-relative with
+// forward slashes; paths outside root pass through unchanged.
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !filepath.IsAbs(rel) &&
+		rel != ".." && !filepathHasDotDotPrefix(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(path)
+}
+
+func filepathHasDotDotPrefix(rel string) bool {
+	return len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
 }

@@ -1,7 +1,9 @@
 package main
 
 import (
-	"strings"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"eventcap/internal/analysis/analyzers"
@@ -15,12 +17,37 @@ func TestLintCleanPackage(t *testing.T) {
 	if testing.Short() {
 		t.Skip("shells out to go list")
 	}
-	diags, err := Lint("../..", []string{"./internal/rng"})
+	findings, err := Lint("../..", []string{"./internal/rng"})
 	if err != nil {
 		t.Fatalf("Lint: %v", err)
 	}
-	if len(diags) != 0 {
-		t.Errorf("expected clean lint, got %d finding(s):\n%s", len(diags), strings.Join(diags, "\n"))
+	for _, f := range findings {
+		t.Errorf("expected clean lint, got: %s", f)
+	}
+}
+
+// TestLintSelfClean is the suite's fixed point: all eight analyzers run
+// over the whole module, and every finding must be either fixed, carry a
+// justification comment, or be acknowledged in the committed baseline.
+// A new finding fails this test the same way it fails `make lint`.
+func TestLintSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list over the whole module")
+	}
+	findings, err := Lint("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	bl, err := readBaselineFile("../../lint-baseline.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	fresh, _ := bl.partition(findings)
+	for _, f := range fresh {
+		t.Errorf("unbaselined finding: %s", f)
+	}
+	for _, e := range bl.stale() {
+		t.Errorf("stale baseline entry (debt paid, prune it): %s [%s] %s", e.File, e.Analyzer, e.Message)
 	}
 }
 
@@ -30,6 +57,7 @@ func TestLintWiresFullSuite(t *testing.T) {
 	want := map[string]bool{
 		"nondeterm": true, "floateq": true, "probrange": true,
 		"seedflow": true, "expvarname": true,
+		"spanend": true, "lockbalance": true, "closecheck": true,
 	}
 	got := analyzers.All()
 	if len(got) != len(want) {
@@ -39,5 +67,148 @@ func TestLintWiresFullSuite(t *testing.T) {
 		if !want[a.Name] {
 			t.Errorf("unexpected analyzer %q", a.Name)
 		}
+	}
+}
+
+// TestSARIFOutput checks the emitted log parses as SARIF 2.1.0 with the
+// full rule set and findings in input (SortDiagnostics) order, and that
+// baselined findings carry an external suppression.
+func TestSARIFOutput(t *testing.T) {
+	findings := []Finding{
+		{File: "internal/a/a.go", Line: 3, Col: 7, Analyzer: "spanend", Message: "span leak"},
+		{File: "internal/b/b.go", Line: 10, Col: 2, Analyzer: "closecheck", Message: "file leak"},
+	}
+	path := filepath.Join(t.TempDir(), "lint.sarif")
+	if err := writeSARIFFile(path, findings, map[int]string{1: "reviewed: handoff"}); err != nil {
+		t.Fatalf("writeSARIFFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				Suppressions []struct {
+					Kind string `json:"kind"`
+				} `json:"suppressions"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "eventcap-lint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	all := analyzers.All()
+	if len(run.Tool.Driver.Rules) != len(all) {
+		t.Fatalf("got %d rules, want %d (the full suite)", len(run.Tool.Driver.Rules), len(all))
+	}
+	for i, a := range all {
+		if run.Tool.Driver.Rules[i].ID != a.Name {
+			t.Errorf("rule %d = %q, want %q", i, run.Tool.Driver.Rules[i].ID, a.Name)
+		}
+	}
+	if len(run.Results) != len(findings) {
+		t.Fatalf("got %d results, want %d", len(run.Results), len(findings))
+	}
+	for i, f := range findings {
+		r := run.Results[i]
+		if r.RuleID != f.Analyzer {
+			t.Errorf("result %d ruleId = %q, want %q", i, r.RuleID, f.Analyzer)
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI != f.File || loc.Region.StartLine != f.Line {
+			t.Errorf("result %d at %s:%d, want %s:%d", i, loc.ArtifactLocation.URI, loc.Region.StartLine, f.File, f.Line)
+		}
+	}
+	if len(run.Results[0].Suppressions) != 0 {
+		t.Error("unbaselined finding must not be suppressed")
+	}
+	if len(run.Results[1].Suppressions) != 1 || run.Results[1].Suppressions[0].Kind != "external" {
+		t.Errorf("baselined finding must carry one external suppression, got %+v", run.Results[1].Suppressions)
+	}
+}
+
+// TestBaselineRoundTrip checks write → read → partition: recorded
+// findings are absorbed (respecting counts), new ones stay fresh, and
+// paid-off debt is reported stale.
+func TestBaselineRoundTrip(t *testing.T) {
+	recorded := []Finding{
+		{File: "a.go", Line: 1, Col: 1, Analyzer: "spanend", Message: "leak"},
+		{File: "a.go", Line: 9, Col: 1, Analyzer: "spanend", Message: "leak"}, // same key, count 2
+		{File: "b.go", Line: 2, Col: 2, Analyzer: "floateq", Message: "cmp"},
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := writeBaselineFile(path, recorded); err != nil {
+		t.Fatalf("writeBaselineFile: %v", err)
+	}
+
+	bl, err := readBaselineFile(path)
+	if err != nil {
+		t.Fatalf("readBaselineFile: %v", err)
+	}
+	// Current run: one of the two a.go leaks fixed (line moved, still
+	// covered — keys are position-free), b.go debt paid, one new finding.
+	current := []Finding{
+		{File: "a.go", Line: 5, Col: 1, Analyzer: "spanend", Message: "leak"},
+		{File: "c.go", Line: 3, Col: 3, Analyzer: "closecheck", Message: "new leak"},
+	}
+	fresh, suppressed := bl.partition(current)
+	if len(fresh) != 1 || fresh[0].File != "c.go" {
+		t.Errorf("fresh = %v, want only the c.go finding", fresh)
+	}
+	if _, ok := suppressed[0]; !ok {
+		t.Error("the surviving a.go finding should be suppressed by the baseline")
+	}
+	stale := bl.stale()
+	if len(stale) != 2 {
+		t.Fatalf("got %d stale entries, want 2 (one leftover a.go count, the paid b.go debt)", len(stale))
+	}
+
+	var missing *baseline
+	fresh, _ = missing.partition(current)
+	if len(fresh) != len(current) {
+		t.Errorf("nil baseline must suppress nothing, got %d fresh of %d", len(fresh), len(current))
+	}
+}
+
+// TestBaselineRejectsWrongSchema guards against loading an unrelated
+// JSON file as a ledger.
+func TestBaselineRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"something/else","findings":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBaselineFile(path); err == nil {
+		t.Error("wrong schema must be rejected")
 	}
 }

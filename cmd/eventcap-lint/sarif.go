@@ -1,0 +1,128 @@
+package main
+
+// SARIF 2.1.0 output (https://docs.oasis-open.org/sarif/sarif/v2.1.0/):
+// one run, the full analyzer suite as the tool's rule set, one result
+// per finding in SortDiagnostics order. Findings absorbed by the
+// baseline are still emitted — marked with an external suppression
+// carrying the baseline's why text — so code-scanning UIs show the
+// acknowledged debt without failing the gate on it.
+
+import (
+	"encoding/json"
+	"os"
+
+	"eventcap/internal/analysis/analyzers"
+)
+
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// buildSARIF assembles the log. suppressed maps finding index (into
+// findings) to the baseline why text for findings the baseline absorbs.
+func buildSARIF(findings []Finding, suppressed map[int]string) *sarifLog {
+	all := analyzers.All()
+	rules := make([]sarifRule, len(all))
+	ruleIndex := make(map[string]int, len(all))
+	for i, a := range all {
+		rules[i] = sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}}
+		ruleIndex[a.Name] = i
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for i, f := range findings {
+		r := sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: ruleIndex[f.Analyzer],
+			Level:     "warning",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		}
+		if why, ok := suppressed[i]; ok {
+			r.Suppressions = []sarifSuppression{{Kind: "external", Justification: why}}
+		}
+		results = append(results, r)
+	}
+	return &sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "eventcap-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+func writeSARIFFile(path string, findings []Finding, suppressed map[int]string) error {
+	data, err := json.MarshalIndent(buildSARIF(findings, suppressed), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -233,8 +233,14 @@ func run(args []string, out io.Writer) error {
 		table, err := exp.Run(opts)
 		runSpan.End()
 		if err != nil {
+			// The run error is primary; the partial trace is best-effort,
+			// but the writer must still be closed ahead of the file or its
+			// buffered frames are silently dropped.
+			if tw != nil {
+				_ = tw.Close()
+			}
 			if tf != nil {
-				tf.Close()
+				_ = tf.Close()
 			}
 			// Failed runs are journaled and completed too: the dashboard
 			// and the journal must account for every run, not just the
@@ -255,12 +261,18 @@ func run(args []string, out io.Writer) error {
 		var traceInfo *obs.TraceInfo
 		if tw != nil {
 			if err := tw.Close(); err != nil {
-				tf.Close()
+				if tf != nil {
+					_ = tf.Close()
+				}
 				return fmt.Errorf("%s trace: %w", exp.ID, err)
 			}
+		}
+		if tf != nil {
 			if err := tf.Close(); err != nil {
 				return fmt.Errorf("%s trace: %w", exp.ID, err)
 			}
+		}
+		if tw != nil {
 			mode := "full"
 			if flight != nil {
 				mode = "full+flight"
@@ -289,6 +301,7 @@ func run(args []string, out io.Writer) error {
 			csv := []byte(table.CSV())
 			path := filepath.Join(*outDir, exp.ID+".csv")
 			if err := os.WriteFile(path, csv, 0o644); err != nil {
+				ws.End()
 				return fmt.Errorf("writing %s: %w", path, err)
 			}
 			ws.End()

@@ -262,12 +262,39 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		rec.Status, rec.Error = "error", err.Error()
 		active.Complete(rec)
+		// The run error is primary; the partial trace is best-effort.
+		if tw != nil {
+			_ = tw.Close()
+		}
 		if tf != nil {
-			tf.Close()
+			_ = tf.Close()
 		}
 		return err
 	}
 	active.Complete(rec)
+
+	// Close the trace stream before any other output file is written:
+	// Writer errors are sticky and only surface at Close, and an early
+	// return from the spans write below must not leak the stream (or
+	// silently drop its buffered frames).
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			if tf != nil {
+				_ = tf.Close()
+			}
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	if tf != nil {
+		if err := tf.Close(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	if tw != nil {
+		if err := writeTraceManifest(*traceFile, tw, flight != nil, cfg, engine, digest, start, elapsed, diff, root.Breakdown()); err != nil {
+			return err
+		}
+	}
 
 	if *spansFlag != "" {
 		sf, err := os.Create(*spansFlag)
@@ -280,19 +307,6 @@ func run(args []string, out io.Writer) error {
 		}
 		if err := sf.Close(); err != nil {
 			return fmt.Errorf("closing spans file: %w", err)
-		}
-	}
-
-	if tw != nil {
-		if err := tw.Close(); err != nil {
-			tf.Close()
-			return fmt.Errorf("trace: %w", err)
-		}
-		if err := tf.Close(); err != nil {
-			return fmt.Errorf("trace: %w", err)
-		}
-		if err := writeTraceManifest(*traceFile, tw, flight != nil, cfg, engine, digest, start, elapsed, diff, root.Breakdown()); err != nil {
-			return err
 		}
 	}
 	if *flightDump != "" {

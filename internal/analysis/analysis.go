@@ -23,6 +23,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"eventcap/internal/analysis/cfg"
 )
 
 // Analyzer describes one static check. Scoping — which packages the
@@ -60,6 +62,25 @@ type Pass struct {
 	// lineComments caches, per file, the text of every comment keyed by
 	// the line it starts on. Built lazily by Justified.
 	lineComments map[*token.File]map[int]string
+
+	// cfgs caches control-flow graphs per function body (CFGOf).
+	cfgs map[*ast.BlockStmt]*cfg.Graph
+}
+
+// CFGOf returns the control-flow graph of body (a FuncDecl or FuncLit
+// body), built lazily and cached for the lifetime of the Pass. This is
+// the hook through which path-sensitive analyzers reach the dataflow
+// layer (DESIGN.md §15).
+func (p *Pass) CFGOf(body *ast.BlockStmt) *cfg.Graph {
+	if g, ok := p.cfgs[body]; ok {
+		return g
+	}
+	if p.cfgs == nil {
+		p.cfgs = make(map[*ast.BlockStmt]*cfg.Graph)
+	}
+	g := cfg.New(body)
+	p.cfgs[body] = g
+	return g
 }
 
 // Diagnostic is one finding at a source position.

@@ -10,8 +10,11 @@ import (
 // and at least one accepted justified exception; the fixture's want
 // comments are the assertions (see analysistest).
 
-func TestNondeterm(t *testing.T)  { analysistest.Run(t, "testdata/nondeterm", Nondeterm) }
-func TestFloateq(t *testing.T)    { analysistest.Run(t, "testdata/floateq", Floateq) }
-func TestProbrange(t *testing.T)  { analysistest.Run(t, "testdata/probrange", Probrange) }
-func TestSeedflow(t *testing.T)   { analysistest.Run(t, "testdata/seedflow", Seedflow) }
-func TestExpvarname(t *testing.T) { analysistest.Run(t, "testdata/expvarname", Expvarname) }
+func TestNondeterm(t *testing.T)   { analysistest.Run(t, "testdata/nondeterm", Nondeterm) }
+func TestFloateq(t *testing.T)     { analysistest.Run(t, "testdata/floateq", Floateq) }
+func TestProbrange(t *testing.T)   { analysistest.Run(t, "testdata/probrange", Probrange) }
+func TestSeedflow(t *testing.T)    { analysistest.Run(t, "testdata/seedflow", Seedflow) }
+func TestExpvarname(t *testing.T)  { analysistest.Run(t, "testdata/expvarname", Expvarname) }
+func TestSpanend(t *testing.T)     { analysistest.Run(t, "testdata/spanend", Spanend) }
+func TestLockbalance(t *testing.T) { analysistest.Run(t, "testdata/lockbalance", Lockbalance) }
+func TestClosecheck(t *testing.T)  { analysistest.Run(t, "testdata/closecheck", Closecheck) }

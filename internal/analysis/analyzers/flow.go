@@ -1,0 +1,326 @@
+package analyzers
+
+// Shared plumbing for the path-sensitive resource analyzers (spanend,
+// lockbalance, closecheck): the dataflow fact shape they solve over the
+// internal/analysis/cfg layer, condition-edge refinement, and the
+// helpers for walking statements without leaking into nested function
+// literals (which get their own independent analysis).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"eventcap/internal/analysis"
+)
+
+// GenericMarker is the suite-wide justification marker accepted by the
+// path-sensitive analyzers alongside their per-analyzer markers, so a
+// reviewed exception reads uniformly: //lint:justified <reason>.
+const GenericMarker = "lint:justified"
+
+// justifiedFlow reports whether the finding at pos carries either the
+// analyzer's own marker or the generic lint:justified marker.
+func justifiedFlow(pass *analysis.Pass, pos token.Pos, marker string) bool {
+	return pass.Justified(pos, marker) || pass.Justified(pos, GenericMarker)
+}
+
+// resState is the per-resource dataflow fact: whether the resource may
+// still be open (span un-ended, lock held, file unclosed) on some path
+// reaching this point, and the acquisition site for reporting. errObj,
+// used by closecheck, is the companion error variable assigned at the
+// acquisition (`f, err := os.Create(...)`): along edges where that
+// error is known non-nil the resource was never acquired.
+type resState struct {
+	open   bool
+	pos    token.Pos
+	errObj types.Object
+}
+
+// resFacts is the dataflow fact map: tracked resource key -> state.
+// Facts are treated as immutable by the solver contract; use clone
+// before mutating.
+type resFacts[K comparable] map[K]resState
+
+func cloneFacts[K comparable](f resFacts[K]) resFacts[K] {
+	out := make(resFacts[K], len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// joinFacts unions two fact maps: a resource may be open after the
+// merge if it may be open on either incoming path. The earliest
+// acquisition position wins, for stable reporting.
+func joinFacts[K comparable](a, b resFacts[K]) resFacts[K] {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := cloneFacts(a)
+	for k, vb := range b {
+		va, ok := out[k]
+		if !ok {
+			out[k] = vb
+			continue
+		}
+		merged := va
+		merged.open = va.open || vb.open
+		if vb.pos.IsValid() && (!va.pos.IsValid() || vb.pos < va.pos) {
+			merged.pos = vb.pos
+			merged.errObj = vb.errObj
+		}
+		out[k] = merged
+	}
+	return out
+}
+
+func equalFacts[K comparable](a, b resFacts[K]) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok || va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+// funcBodies returns every function body in the file — declarations and
+// function literals — each analyzed as its own flow graph.
+func funcBodies(file *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				out = append(out, n.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// inspectNoFuncLit walks n like ast.Inspect but does not descend into
+// nested function literals: their statements execute on their own
+// schedule, not at the node's program point, and they are analyzed as
+// independent bodies.
+func inspectNoFuncLit(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// nilCompare matches `x == nil` / `x != nil` (either operand order) and
+// returns the non-nil-literal ident.
+func nilCompare(e ast.Expr) (*ast.Ident, token.Token) {
+	be, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, token.ILLEGAL
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if id, ok := x.(*ast.Ident); ok && isNilIdent(y) {
+		return id, be.Op
+	}
+	if id, ok := y.(*ast.Ident); ok && isNilIdent(x) {
+		return id, be.Op
+	}
+	return nil, token.ILLEGAL
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// mustNilIdents collects the idents that are certainly nil along the
+// given edge of cond (trueEdge selects the branch taken when cond holds):
+// `x == nil` on its true edge, `x != nil` on its false edge, recursing
+// through !, && (true edge) and || (false edge).
+func mustNilIdents(cond ast.Expr, trueEdge bool) []*ast.Ident {
+	return nilFacts(cond, trueEdge, token.EQL)
+}
+
+// mustNonNilIdents is the dual: idents certainly non-nil along the edge.
+func mustNonNilIdents(cond ast.Expr, trueEdge bool) []*ast.Ident {
+	return nilFacts(cond, trueEdge, token.NEQ)
+}
+
+// nilFacts returns idents for which `ident op nil` certainly holds on
+// the chosen edge of cond, for op EQL (nil) or NEQ (non-nil).
+func nilFacts(cond ast.Expr, trueEdge bool, op token.Token) []*ast.Ident {
+	cond = ast.Unparen(cond)
+	if ue, ok := cond.(*ast.UnaryExpr); ok && ue.Op == token.NOT {
+		return nilFacts(ue.X, !trueEdge, op)
+	}
+	if be, ok := cond.(*ast.BinaryExpr); ok {
+		switch be.Op {
+		case token.LAND:
+			// a && b: on the true edge both conjuncts hold.
+			if trueEdge {
+				return append(nilFacts(be.X, true, op), nilFacts(be.Y, true, op)...)
+			}
+			return nil
+		case token.LOR:
+			// a || b: on the false edge both disjuncts fail.
+			if !trueEdge {
+				return append(nilFacts(be.X, false, op), nilFacts(be.Y, false, op)...)
+			}
+			return nil
+		}
+	}
+	id, cmpOp := nilCompare(cond)
+	if id == nil {
+		return nil
+	}
+	// `x == nil` asserts nil on its true edge; `x != nil` on its false
+	// edge. Flip for the non-nil dual.
+	assertsOnTrue := cmpOp == token.EQL
+	if op == token.NEQ {
+		assertsOnTrue = !assertsOnTrue
+	}
+	if trueEdge == assertsOnTrue {
+		return []*ast.Ident{id}
+	}
+	return nil
+}
+
+// useClass classifies one identifier use for the escape pre-scan.
+type useClass int
+
+const (
+	useSanctioned useClass = iota // receiver calls, nil compares, LHS writes
+	useCallArg                    // passed as a plain call argument
+	useEscape                     // returned, aliased, stored, captured otherwise
+)
+
+// classifyUses walks root (nested function literals included — captured
+// uses count) and calls report for every use of an object selected by
+// want, classified by syntactic context. Analyzers decide which classes
+// forfeit tracking: spanend treats useCallArg as escape (span ownership
+// moves into configs and registries), closecheck does not (Close stays
+// with the creator).
+func classifyUses(pass *analysis.Pass, root ast.Node, want func(types.Object) bool, report func(obj types.Object, id *ast.Ident, class useClass)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || !want(obj) {
+			return true
+		}
+		report(obj, id, classifyUse(id, stack))
+		return true
+	})
+}
+
+// classifyUse inspects the parent chain of one ident use.
+func classifyUse(id *ast.Ident, stack []ast.Node) useClass {
+	if len(stack) < 2 {
+		return useEscape
+	}
+	parent := stack[len(stack)-2]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// x.M(...) — a method call on the resource is sanctioned; a
+		// method value or field read that is not immediately called
+		// aliases the resource.
+		if p.X == id && len(stack) >= 3 {
+			if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == p {
+				return useSanctioned
+			}
+		}
+		return useEscape
+	case *ast.BinaryExpr:
+		if (p.Op == token.EQL || p.Op == token.NEQ) && (isNilIdent(ast.Unparen(p.X)) || isNilIdent(ast.Unparen(p.Y))) {
+			return useSanctioned
+		}
+		return useEscape
+	case *ast.AssignStmt:
+		for _, l := range p.Lhs {
+			if l == id {
+				return useSanctioned
+			}
+		}
+		return useEscape
+	case *ast.ValueSpec:
+		for _, nm := range p.Names {
+			if nm == id {
+				return useSanctioned
+			}
+		}
+		return useEscape
+	case *ast.CallExpr:
+		for _, a := range p.Args {
+			if a == id {
+				return useCallArg
+			}
+		}
+		// p.Fun == id: calling the resource itself — alias-like.
+		return useEscape
+	case *ast.ParenExpr:
+		// Re-classify one level up.
+		return classifyUse(id, stack[:len(stack)-1])
+	default:
+		return useEscape
+	}
+}
+
+// receiverOfCall returns the receiver expression and method name when
+// call is a method call expressed as a selector (x.M(...)).
+func receiverOfCall(call *ast.CallExpr) (ast.Expr, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// deferredCalls returns the calls a defer statement guarantees at every
+// subsequent function exit: the directly deferred call, or — for a
+// deferred closure — every call statement inside the closure body
+// (nested function literals excluded).
+func deferredCalls(d *ast.DeferStmt) []*ast.CallExpr {
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		var out []*ast.CallExpr
+		inspectNoFuncLit(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				out = append(out, call)
+			}
+			return true
+		})
+		return out
+	}
+	return []*ast.CallExpr{d.Call}
+}
+
+// identObjOf resolves e (through parens) to the object of a plain
+// identifier, or nil.
+func identObjOf(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}

@@ -10,8 +10,8 @@ import (
 
 // All returns the complete analyzer suite in stable order. The set is
 // part of the lint gate's contract — a meta-test asserts it matches the
-// documented five — so additions belong here, in DESIGN.md §10, and in
-// the scope table below, together.
+// documented eight — so additions belong here, in DESIGN.md §10/§15,
+// and in the scope table below, together.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		Nondeterm,
@@ -19,6 +19,9 @@ func All() []*analysis.Analyzer {
 		Probrange,
 		Seedflow,
 		Expvarname,
+		Spanend,
+		Lockbalance,
+		Closecheck,
 	}
 }
 
@@ -44,7 +47,12 @@ var simulationPathPackages = []string{
 //   - floateq: everywhere except internal/numeric (the blessed home of
 //     tolerance helpers, whose job is precisely careful raw comparison)
 //     and the analysis packages themselves;
-//   - probrange, expvarname: everywhere except the analysis packages.
+//   - probrange, expvarname, spanend: everywhere except the analysis
+//     packages (any package may open a phase span);
+//   - lockbalance: the concurrency hubs — internal/obs, internal/trace,
+//     internal/parallel — where lock-guarded registries and pools live;
+//   - closecheck: the packages that create trace streams and files —
+//     cmd/* and internal/trace.
 //
 // The analysis packages are self-excluded not as a privilege but to
 // keep the lint gate's fixed point trivial: they manipulate other
@@ -65,6 +73,14 @@ func For(importPath string) []*analysis.Analyzer {
 		out = append(out, Seedflow)
 	}
 	out = append(out, Expvarname)
+	out = append(out, Spanend)
+	if contains(importPath, "internal/obs") || contains(importPath, "internal/trace") ||
+		contains(importPath, "internal/parallel") {
+		out = append(out, Lockbalance)
+	}
+	if contains(importPath, "cmd") || contains(importPath, "internal/trace") {
+		out = append(out, Closecheck)
+	}
 	return out
 }
 

@@ -4,12 +4,13 @@ import (
 	"testing"
 )
 
-// TestRegisteredSuite pins the analyzer set: the five documented in
-// DESIGN.md §10, in stable order, each named, documented, and runnable.
-// Growing the suite means updating this list, the DESIGN section and
-// the scope table together — that is the point of the test.
+// TestRegisteredSuite pins the analyzer set: the eight documented in
+// DESIGN.md §10 and §15, in stable order, each named, documented, and
+// runnable. Growing the suite means updating this list, the DESIGN
+// sections and the scope table together — that is the point of the test.
 func TestRegisteredSuite(t *testing.T) {
-	want := []string{"nondeterm", "floateq", "probrange", "seedflow", "expvarname"}
+	want := []string{"nondeterm", "floateq", "probrange", "seedflow", "expvarname",
+		"spanend", "lockbalance", "closecheck"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d analyzers, want %d", len(all), len(want))
@@ -65,6 +66,26 @@ func TestScopePolicy(t *testing.T) {
 	}
 	if !num["probrange"] {
 		t.Error("internal/numeric: probrange should still apply")
+	}
+
+	// Path-sensitive analyzers: spanend everywhere, lockbalance on the
+	// concurrency hubs, closecheck where trace streams are created.
+	if !sim["spanend"] || !par["spanend"] || !num["spanend"] {
+		t.Error("spanend must apply to every non-analysis package")
+	}
+	obs := names("eventcap/internal/obs")
+	if !obs["lockbalance"] || !tr["lockbalance"] || !par["lockbalance"] {
+		t.Errorf("lockbalance must cover obs/trace/parallel, got obs=%v trace=%v parallel=%v", obs, tr, par)
+	}
+	if sim["lockbalance"] {
+		t.Errorf("internal/sim: lockbalance out of scope, got %v", sim)
+	}
+	cmdSim := names("eventcap/cmd/simulate")
+	if !cmdSim["closecheck"] || !tr["closecheck"] {
+		t.Errorf("closecheck must cover cmd and internal/trace, got cmd/simulate=%v trace=%v", cmdSim, tr)
+	}
+	if obs["closecheck"] || sim["closecheck"] {
+		t.Errorf("closecheck out of scope for obs/sim, got obs=%v sim=%v", obs, sim)
 	}
 
 	if got := For("eventcap/internal/analysis/analyzers"); len(got) != 0 {

@@ -1,0 +1,82 @@
+// Package fixture exercises the lockbalance analyzer: every Lock/RLock
+// must be released on every path out of the acquiring function.
+package fixture
+
+import "sync"
+
+var mu sync.Mutex
+var rw sync.RWMutex
+
+func deferred() {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func leaky(n int) {
+	mu.Lock() // want `may still be held`
+	if n > 0 {
+		return // skips the Unlock
+	}
+	mu.Unlock()
+}
+
+func balanced(n int) int {
+	mu.Lock()
+	if n > 0 {
+		mu.Unlock()
+		return 1
+	}
+	mu.Unlock()
+	return 0
+}
+
+func midLoop(xs []int) int {
+	mu.Lock()
+	for _, x := range xs {
+		if x < 0 {
+			mu.Unlock()
+			return x
+		}
+	}
+	mu.Unlock()
+	return 0
+}
+
+func readers() {
+	rw.RLock()
+	defer rw.RUnlock()
+}
+
+func mismatched() {
+	rw.RLock()  // want `may still be held`
+	rw.Unlock() // releases the write side, not the read side
+}
+
+func closureUnlock() {
+	mu.Lock()
+	defer func() { mu.Unlock() }()
+}
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *box) bump() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+func (b *box) lockedView() *box {
+	b.mu.Lock() // lockbalance:ok fixture: caller receives the critical section and must Unlock
+	return b
+}
+
+func panicPath(n int) {
+	mu.Lock()
+	if n < 0 {
+		panic("bad n") // dying process: held lock not reported
+	}
+	mu.Unlock()
+}

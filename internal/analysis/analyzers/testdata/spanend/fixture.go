@@ -1,0 +1,84 @@
+// Package fixture exercises the spanend analyzer: spans kept in a local
+// must be Ended on every path; escaping spans hand the duty onward.
+package fixture
+
+import "eventcap/internal/obs"
+
+func work() {}
+
+func deferred() {
+	sp := obs.BeginSpan("run")
+	defer sp.End()
+	work()
+}
+
+func leaky(n int) {
+	sp := obs.BeginSpan("run") // want `may not be Ended on every path`
+	if n > 0 {
+		sp.End()
+		return
+	}
+	work() // falls out without End
+}
+
+func balanced(n int) {
+	sp := obs.BeginSpan("run")
+	if n > 0 {
+		sp.End()
+		return
+	}
+	sp.End()
+}
+
+func discarded() {
+	obs.BeginSpan("oops") // want `span created and discarded`
+}
+
+func childLeak(parent *obs.Span, xs []int) {
+	sp := parent.Child("phase") // want `may not be Ended on every path`
+	for _, x := range xs {
+		if x < 0 {
+			return // skips End
+		}
+	}
+	sp.End()
+}
+
+func deferredClosure() {
+	sp := obs.BeginSpan("run")
+	defer func() { sp.End() }()
+	work()
+}
+
+func panicPath(n int) {
+	sp := obs.BeginSpan("run")
+	if n < 0 {
+		panic("bad n") // dying process: leak not reported
+	}
+	sp.End()
+}
+
+func adopt(sp *obs.Span) {}
+
+func handoff() {
+	sp := obs.BeginSpan("root")
+	adopt(sp) // escapes: End responsibility moves with it
+}
+
+func returned() *obs.Span {
+	sp := obs.BeginSpan("root")
+	return sp // escapes
+}
+
+func justified(n int) {
+	sp := obs.BeginSpan("bg") // spanend:ok fixture: ended by the shutdown hook in the real caller
+	if n > 0 {
+		sp.End()
+	}
+}
+
+func forked(parent *obs.Span) {
+	var sp = parent.Fork("lane") // want `may not be Ended on every path`
+	work()
+	_ = sp.Name()
+}

@@ -1,0 +1,83 @@
+package cfg
+
+// Analysis configures one forward dataflow problem over a Graph. The
+// fact type F is anything the client likes (typically a small map from
+// tracked resources to states); the solver treats facts as opaque
+// immutable values, so Transfer, FlowEdge and Join must return fresh
+// values rather than mutating their arguments in place.
+//
+// The solver is a classic forward worklist iteration: facts propagate
+// from the entry block along edges until a fixed point. Termination is
+// the client's contract — Join must be monotone over a finite-height
+// lattice (bitmask or small-enum states satisfy this trivially).
+type Analysis[F any] struct {
+	// Entry is the fact entering the entry block.
+	Entry F
+
+	// Transfer applies one block's nodes to the incoming fact and
+	// returns the fact at the block's end.
+	Transfer func(b *Block, in F) F
+
+	// FlowEdge, if non-nil, refines the outgoing fact along the edge to
+	// b.Succs[succ] — the hook for condition-based refinement (nil
+	// checks, err checks) and for discarding facts that flow out of
+	// panic blocks. When nil, the block's out-fact flows unchanged.
+	FlowEdge func(b *Block, succ int, out F) F
+
+	// Join merges two incoming facts at a control-flow merge point.
+	Join func(a, b F) F
+
+	// Equal reports whether two facts are equal; the solver uses it to
+	// detect convergence.
+	Equal func(a, b F) bool
+}
+
+// Solution holds the per-block fixed-point facts, indexed by
+// Block.Index. Blocks never reached from the entry (dead code) keep the
+// zero fact and Reached[i] == false.
+type Solution[F any] struct {
+	In, Out []F
+	Reached []bool
+}
+
+// Solve runs the forward worklist analysis to a fixed point and returns
+// the per-block facts. The exit block's In fact is the merge over every
+// terminating path — returns, explicit panics, and falling off the end.
+func Solve[F any](g *Graph, a Analysis[F]) *Solution[F] {
+	n := len(g.Blocks)
+	sol := &Solution[F]{In: make([]F, n), Out: make([]F, n), Reached: make([]bool, n)}
+	sol.In[0] = a.Entry
+	sol.Reached[0] = true
+	work := []int{0}
+	queued := make([]bool, n)
+	queued[0] = true
+	for len(work) > 0 {
+		i := work[0]
+		work = work[1:]
+		queued[i] = false
+		b := g.Blocks[i]
+		out := a.Transfer(b, sol.In[i])
+		sol.Out[i] = out
+		for k, s := range b.Succs {
+			edge := out
+			if a.FlowEdge != nil {
+				edge = a.FlowEdge(b, k, out)
+			}
+			j := s.Index
+			merged := edge
+			if sol.Reached[j] {
+				merged = a.Join(sol.In[j], edge)
+				if a.Equal(merged, sol.In[j]) {
+					continue
+				}
+			}
+			sol.In[j] = merged
+			sol.Reached[j] = true
+			if !queued[j] {
+				work = append(work, j)
+				queued[j] = true
+			}
+		}
+	}
+	return sol
+}
