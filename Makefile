@@ -6,11 +6,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build test lint lint-baseline fuzz-smoke race bench-smoke bench bench-batch bench-multi bench-kernel-json bench-batch-json bench-multi-json bench-obs-json bench-trace-json bench-span-json benchtraj bench-check trace-verify clean
+.PHONY: all check vet build test lint lint-baseline fuzz-smoke race bench-smoke bench bench-batch bench-multi bench-kernel-json bench-batch-json bench-multi-json bench-obs-json bench-stats-json bench-stats bench-trace-json bench-span-json benchtraj bench-check trace-verify clean
 
 all: check
 
-check: vet build test lint race bench-smoke bench-batch bench-multi trace-verify benchtraj bench-check
+check: vet build test lint race bench-smoke bench-batch bench-multi bench-stats trace-verify benchtraj bench-check
 
 vet:
 	$(GO) vet ./...
@@ -62,7 +62,7 @@ race:
 # One iteration of each throughput benchmark: verifies the bench code
 # still compiles and runs, without paying for a real measurement.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'SlotsPerOp|ObsOverhead|TraceOverhead|SpanOverhead' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'SlotsPerOp|ObsOverhead|StatsOverhead|TraceOverhead|SpanOverhead' -benchtime 1x .
 
 # Batch-engine smoke: run the gated BENCH_batch emitter — the >=5x
 # speedup gate (batch engine vs B sequential kernel runs at B=10^4)
@@ -85,6 +85,15 @@ bench-multi:
 	mkdir -p multi-bench-artifact
 	BENCH_MULTI_JSON=multi-bench-artifact/BENCH_multi.json $(GO) test -run TestEmitBenchMultiJSON -count=1 -timeout 900s .
 
+# Streaming-statistics probe gate: the <=2% slot-loop overhead budget
+# of DESIGN.md §16, measured with the interleaved-rounds methodology
+# and written into stats-bench-artifact/ (the CI artifact upload)
+# rather than over the committed quiet-machine BENCH_stats.json, so
+# `make check` stays a no-op on tracked files.
+bench-stats:
+	mkdir -p stats-bench-artifact
+	BENCH_STATS_JSON=stats-bench-artifact/BENCH_stats.json $(GO) test -run TestStatsOverheadWithinBudget -count=1 -timeout 900s .
+
 # End-to-end trace verification: run a traced kernel-heavy experiment
 # and replay the trace against its manifest with cmd/tracetool. The
 # trace-artifact/ directory doubles as the CI artifact upload, so the
@@ -93,6 +102,7 @@ bench-multi:
 trace-verify:
 	$(GO) run ./cmd/experiments -run fig3a -quick -slots 20000 -out trace-artifact -trace -spans fig3a.spans.json
 	$(GO) run ./cmd/tracetool replay trace-artifact/fig3a.manifest.json
+	$(GO) run ./cmd/tracetool stats -manifest trace-artifact/fig3a.manifest.json trace-artifact/fig3a.evtrace
 
 # Fold the current BENCH_*.json records into BENCH_trajectory.json
 # (append-only history; a no-op when no record changed).
@@ -133,6 +143,12 @@ bench-multi-json:
 # against the budget plus the measured noise floor.
 bench-obs-json:
 	BENCH_OBS_JSON=BENCH_obs.json $(GO) test -run TestObsOverheadWithinBudget -count=1 -timeout 900s -v .
+
+# Measure the streaming-statistics probe's cost (Config.Stats, budgeted
+# <=2% of the reference slot loop like Metrics) and regenerate
+# BENCH_stats.json. Same methodology and caveat as above.
+bench-stats-json:
+	BENCH_STATS_JSON=BENCH_stats.json $(GO) test -run TestStatsOverheadWithinBudget -count=1 -timeout 900s -v .
 
 # Measure the tracing subsystem's cost (flight recorder budgeted ≤2%,
 # full trace informational) and regenerate BENCH_trace.json. Same

@@ -13,7 +13,16 @@
 // manifest (<id>.manifest.json) recording the configuration, code
 // version, wall time, and the run-level metrics behind the figure.
 // -progress renders a live jobs-done/ETA line to stderr; -metrics-addr
-// serves /debug/vars and /debug/pprof while the sweep runs.
+// serves /debug/vars, /metrics (Prometheus text format), and
+// /debug/pprof while the sweep runs.
+//
+// Streaming statistics are on by default (-stats=false disables them):
+// every experiment's manifest and journal line record the pooled QoM
+// point estimate with its confidence interval, and /debug/runs shows
+// the live CI band while the sweep runs. With -batch B and
+// -target-rel-hw R, replications stop early once the QoM CI's relative
+// half-width reaches R (at least -min-reps replications run first);
+// the manifest's early_stop block records the realized counts.
 //
 // -trace additionally writes a slot-level binary trace (<id>.evtrace,
 // hash-recorded in the manifest; verify with `tracetool replay`), and
@@ -65,6 +74,9 @@ func run(args []string, out io.Writer) error {
 		metricsAddr = fs.String("metrics-addr", "", "serve /debug/vars and /debug/pprof on this address while running (e.g. localhost:6060)")
 		traceFlag   = fs.Bool("trace", false, "write a slot-level trace (<id>.evtrace) and record it in the manifest; requires -out")
 		flightSize  = fs.Int("flight-recorder", 0, "arm a flight recorder keeping the last N slot records per sensor (0 disables); dumps appear at /debug/trace with -metrics-addr")
+		statsFlag   = fs.Bool("stats", true, "collect streaming QoM statistics (point estimate and CI per experiment, recorded in manifests and the journal; never changes results)")
+		targetRelHW = fs.Float64("target-rel-hw", 0, "stop batched replications early once the QoM CI's relative half-width reaches this target (requires -batch > 1; changes how many replications run)")
+		minReps     = fs.Int("min-reps", 0, "minimum replications before -target-rel-hw may stop a run (default 2)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +87,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if *traceFlag && *outDir == "" {
 		return fmt.Errorf("-trace requires -out (traces are written next to the CSVs)")
+	}
+	if *targetRelHW > 0 && *batch < 2 {
+		return fmt.Errorf("-target-rel-hw requires -batch > 1 (the replication budget it stops within)")
+	}
+	if *minReps > 0 && *targetRelHW <= 0 {
+		return fmt.Errorf("-min-reps only applies together with -target-rel-hw")
 	}
 
 	if *list {
@@ -178,7 +196,11 @@ func run(args []string, out io.Writer) error {
 	}
 	var spanRoots []*obs.Span
 
-	opts := experiments.Options{Slots: *slots, Seed: *seed, Quick: *quick, Workers: *workers, Engine: engine, Batch: *batch, Progress: prog}
+	opts := experiments.Options{
+		Slots: *slots, Seed: *seed, Quick: *quick, Workers: *workers,
+		Engine: engine, Batch: *batch, Progress: prog,
+		TargetRelHW: *targetRelHW, MinReps: *minReps,
+	}
 	for _, exp := range selected {
 		before := obs.Snapshot()
 		start := time.Now()
@@ -210,6 +232,14 @@ func run(args []string, out io.Writer) error {
 		// entry makes the run visible at /debug/runs while it executes.
 		root := obs.BeginSpan(exp.ID)
 		active := obs.DefaultRegistry.Begin(exp.ID, digest, prog, root)
+		// One stats collector per experiment (the manifest scope): interim
+		// reports stream to the registry's live view (dashboard + stats.*
+		// gauges); the pooled estimate lands in the manifest and journal.
+		var coll *experiments.StatsCollector
+		if *statsFlag || *targetRelHW > 0 {
+			coll = &experiments.StatsCollector{Live: active.Stats.Publish}
+		}
+		opts.Stats = coll
 		// Attach the tracer for this experiment: a fresh trace file per
 		// experiment (so each manifest hashes exactly its own runs), the
 		// shared flight recorder, or both.
@@ -294,6 +324,20 @@ func run(args []string, out io.Writer) error {
 		table.Notes = append(table.Notes, fmt.Sprintf("timing: %v wall-clock with %d workers", rounded, parallel.Workers(*workers)))
 		fmt.Fprintln(out, table.ASCII())
 		fmt.Fprintf(out, "(%s finished in %v)\n\n", exp.ID, rounded)
+		if coll != nil {
+			if r, ok := coll.Report(); ok {
+				if r.Level != 0 {
+					fmt.Fprintf(out, "stats: qom %.6f ± %.6f (%.0f%% CI, rel %.4g, pooled over %d runs)\n",
+						r.Mean, r.HalfWidth, 100*r.Level, r.RelHalfWidth, r.Count)
+				} else {
+					fmt.Fprintf(out, "stats: qom %.6f (pooled over %d runs, no interval)\n", r.Mean, r.Count)
+				}
+			}
+			if d := coll.Decision(); d != nil {
+				fmt.Fprintf(out, "stats: early stop settled at %d/%d replications (target rel HW %g, reached %.4g; %d run(s) converged early)\n",
+					d.Reps, d.MaxReps, d.TargetRelHW, d.RelHalfWidth, coll.StoppedRuns())
+			}
+		}
 		params.trace = traceInfo
 		var rec obs.RunRecord
 		if *outDir != "" {
@@ -309,6 +353,13 @@ func run(args []string, out io.Writer) error {
 			diff := obs.Diff(before, obs.Snapshot())
 			man := manifestFor(exp, csv, diff, digest, params)
 			man.Phases = root.Breakdown()
+			if coll != nil {
+				if r, ok := coll.Report(); ok {
+					rp := r
+					man.Stats = &rp
+				}
+				man.EarlyStop = earlyStopInfo(coll.Decision())
+			}
 			if journal != nil {
 				man.Journal = filepath.Base(journal.Path())
 			}
@@ -324,6 +375,14 @@ func run(args []string, out io.Writer) error {
 		} else {
 			root.End()
 			rec = runRecord(exp, digest, params, obs.Diff(before, obs.Snapshot()), root.Breakdown())
+		}
+		if coll != nil {
+			if r, ok := coll.Report(); ok {
+				rec.QoMMean, rec.QoMHalfWidth = r.Mean, r.HalfWidth
+			}
+			if d := coll.Decision(); d != nil {
+				rec.EarlyStopReps = d.Reps
+			}
 		}
 		if journal != nil {
 			if err := journal.Record(rec); err != nil {
@@ -374,6 +433,22 @@ func runRecord(exp experiments.Experiment, digest string, p manifestParams, diff
 		Events:       int64(diff["sim.events"]),
 		Captures:     int64(diff["sim.captures"]),
 		Phases:       phases,
+	}
+}
+
+// earlyStopInfo converts a sim.StopDecision into its manifest mirror
+// (obs cannot import sim). Nil-safe.
+func earlyStopInfo(d *sim.StopDecision) *obs.EarlyStopInfo {
+	if d == nil {
+		return nil
+	}
+	return &obs.EarlyStopInfo{
+		TargetRelHW:  d.TargetRelHW,
+		MinReps:      d.MinReps,
+		MaxReps:      d.MaxReps,
+		Reps:         d.Reps,
+		RelHalfWidth: d.RelHalfWidth,
+		Stopped:      d.Stopped,
 	}
 }
 

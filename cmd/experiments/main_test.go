@@ -332,3 +332,124 @@ func TestRunWritesJournalAndPhases(t *testing.T) {
 		t.Fatalf("journal phases = %v", rec["phases"])
 	}
 }
+
+// TestStatsFlagKeepsCSVByteIdentical: the streaming-statistics probe is
+// RNG-neutral end to end — CSVs with and without -stats are equal.
+func TestStatsFlagKeepsCSVByteIdentical(t *testing.T) {
+	csvFor := func(extra ...string) []byte {
+		t.Helper()
+		dir := t.TempDir()
+		var sb strings.Builder
+		args := append([]string{"-run", "fig3a", "-quick", "-slots", "20000", "-seed", "11", "-out", dir}, extra...)
+		if err := run(args, &sb); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "fig3a.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	base := csvFor("-stats=false")
+	if got := csvFor(); !bytes.Equal(got, base) {
+		t.Errorf("-stats changed the CSV:\n%s\nvs\n%s", got, base)
+	}
+}
+
+// TestManifestRecordsStats: every run's manifest (schema v4) carries the
+// pooled QoM report, consistent with its own metrics block.
+func TestManifestRecordsStats(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-run", "fig3a", "-quick", "-slots", "20000", "-seed", "6", "-out", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	man, err := obs.ReadManifest(filepath.Join(dir, "fig3a.manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Schema != "eventcap/run-manifest/v4" {
+		t.Fatalf("schema = %q, want v4", man.Schema)
+	}
+	s := man.Stats
+	if s == nil {
+		t.Fatal("manifest has no stats block")
+	}
+	if s.Method != "pooled" || s.Count == 0 {
+		t.Fatalf("stats block %+v", s)
+	}
+	// The pooled mean is exactly the metrics block's captures/events.
+	if ev := man.Metrics["sim.events"]; ev == 0 || s.Mean != man.Metrics["sim.captures"]/ev {
+		t.Errorf("pooled mean %v inconsistent with metrics %v/%v",
+			s.Mean, man.Metrics["sim.captures"], man.Metrics["sim.events"])
+	}
+	if float64(s.Events) != man.Metrics["sim.events"] || float64(s.Captures) != man.Metrics["sim.captures"] {
+		t.Errorf("stats totals %d/%d != metrics totals %v/%v",
+			s.Captures, s.Events, man.Metrics["sim.captures"], man.Metrics["sim.events"])
+	}
+	if !strings.Contains(sb.String(), "stats: qom ") {
+		t.Errorf("stdout missing the stats line:\n%s", sb.String())
+	}
+}
+
+// TestEarlyStopRecordedInManifest is the CI-targeted early-stop
+// acceptance path: a loose target with a generous budget must stop
+// before exhausting it, and the manifest and journal must record the
+// replication count the run settled on.
+func TestEarlyStopRecordedInManifest(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	args := []string{"-run", "fig3a", "-quick", "-slots", "20000", "-seed", "5",
+		"-batch", "16", "-target-rel-hw", "0.5", "-out", dir}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	man, err := obs.ReadManifest(filepath.Join(dir, "fig3a.manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := man.EarlyStop
+	if es == nil {
+		t.Fatal("manifest has no early_stop block")
+	}
+	if es.TargetRelHW != 0.5 || es.MaxReps != 16 {
+		t.Fatalf("early_stop inputs %+v", es)
+	}
+	if !es.Stopped || es.Reps >= es.MaxReps || es.Reps < es.MinReps {
+		t.Fatalf("loose target did not stop inside the budget: %+v", es)
+	}
+	if es.RelHalfWidth <= 0 || es.RelHalfWidth > es.TargetRelHW {
+		t.Fatalf("recorded half-width %v misses the target %v", es.RelHalfWidth, es.TargetRelHW)
+	}
+	if man.Stats == nil {
+		t.Fatal("early-stopped run lost its stats block")
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "runs.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(data), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := rec["early_stop_reps"].(float64); int(got) != es.Reps {
+		t.Errorf("journal early_stop_reps = %v, manifest %d", rec["early_stop_reps"], es.Reps)
+	}
+	if qom, _ := rec["qom_mean"].(float64); qom <= 0 {
+		t.Errorf("journal qom_mean = %v", rec["qom_mean"])
+	}
+	if !strings.Contains(sb.String(), "stats: early stop settled at ") {
+		t.Errorf("stdout missing the early-stop line:\n%s", sb.String())
+	}
+}
+
+func TestEarlyStopFlagValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "fig3a", "-quick", "-target-rel-hw", "0.1"}, &sb); err == nil {
+		t.Fatal("-target-rel-hw without -batch accepted")
+	}
+	if err := run([]string{"-run", "fig3a", "-quick", "-min-reps", "4"}, &sb); err == nil {
+		t.Fatal("-min-reps without -target-rel-hw accepted")
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"eventcap/internal/dist"
 	"eventcap/internal/obs"
 	"eventcap/internal/sim"
+	"eventcap/internal/stats"
 	"eventcap/internal/trace"
 )
 
@@ -71,6 +72,9 @@ func run(args []string, out io.Writer) error {
 		spansFlag  = fs.String("spans", "", "write the run's phase spans as Chrome trace-event JSON to this file (open in chrome://tracing or Perfetto; never changes results)")
 		flightSize = fs.Int("flight-recorder", 0, "arm a flight recorder keeping the last N slot records per sensor (0 disables)")
 		flightDump = fs.String("flight-dump", "", "write flight-recorder dumps as JSON to this file (requires -flight-recorder)")
+		statsFlag  = fs.Bool("stats", true, "collect and print streaming QoM statistics (confidence interval, battery quantiles; never changes results)")
+		targetHW   = fs.Float64("target-rel-hw", 0, "stop batched replications early once the QoM CI's relative half-width reaches this target (requires -batch > 1; changes how many replications run)")
+		minReps    = fs.Int("min-reps", 0, "minimum replications before -target-rel-hw may stop the run (default 2)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +85,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if *flightDump != "" && *flightSize <= 0 {
 		return fmt.Errorf("-flight-dump requires -flight-recorder")
+	}
+	if *targetHW > 0 && *batch < 2 {
+		return fmt.Errorf("-target-rel-hw requires -batch > 1 (the replication budget it stops within)")
+	}
+	if *minReps > 0 && *targetHW <= 0 {
+		return fmt.Errorf("-min-reps only applies together with -target-rel-hw")
 	}
 	if *traceFile != "" {
 		// The manifest sidecar records the run's metrics block; collect it.
@@ -251,10 +261,24 @@ func run(args []string, out io.Writer) error {
 	root := obs.BeginSpan("simulate")
 	active := obs.DefaultRegistry.Begin("simulate", digest, nil, root)
 	cfg.Span = root
+	if *statsFlag || *targetHW > 0 {
+		cfg.Stats = true
+		// Interim reports feed the /debug/runs live view and the stats.*
+		// gauges while the run executes.
+		cfg.StatsSink = active.Stats.Publish
+	}
 
 	before := obs.Snapshot()
 	start := time.Now()
-	res, err := sim.Run(cfg)
+	var (
+		res *sim.Result
+		dec *sim.StopDecision
+	)
+	if *targetHW > 0 {
+		res, dec, err = sim.RunWithEarlyStop(cfg, sim.EarlyStopOptions{TargetRelHW: *targetHW, MinReps: *minReps})
+	} else {
+		res, err = sim.Run(cfg)
+	}
 	root.End()
 	elapsed := time.Since(start)
 	diff := obs.Diff(before, obs.Snapshot())
@@ -270,6 +294,12 @@ func run(args []string, out io.Writer) error {
 			_ = tf.Close()
 		}
 		return err
+	}
+	if res.Stats != nil {
+		rec.QoMMean, rec.QoMHalfWidth = res.Stats.Mean, res.Stats.HalfWidth
+	}
+	if dec != nil {
+		rec.EarlyStopReps = dec.Reps
 	}
 	active.Complete(rec)
 
@@ -291,7 +321,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if tw != nil {
-		if err := writeTraceManifest(*traceFile, tw, flight != nil, cfg, engine, digest, start, elapsed, diff, root.Breakdown()); err != nil {
+		if err := writeTraceManifest(*traceFile, tw, flight != nil, cfg, engine, digest, start, elapsed, diff, root.Breakdown(), res.Stats, earlyStopInfo(dec)); err != nil {
 			return err
 		}
 	}
@@ -328,6 +358,22 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "events     %d   captured %d\n", res.Events, res.Captures)
 	fmt.Fprintf(out, "QoM        %.4f   (analytic, energy assumption: %.4f)\n", res.QoM, analytic)
+	if s := res.Stats; s != nil {
+		if s.Level != 0 {
+			fmt.Fprintf(out, "stats      qom %.6f ± %.6f (%.0f%% CI, rel %.4g, %s, n=%d)\n",
+				s.Mean, s.HalfWidth, 100*s.Level, s.RelHalfWidth, s.Method, s.Count)
+		} else {
+			fmt.Fprintf(out, "stats      qom %.6f (%s, no interval)\n", s.Mean, s.Method)
+		}
+		if b := s.Battery; b != nil {
+			fmt.Fprintf(out, "stats      battery mean %.1f%% of K, p10/p50/p90 %.1f%%/%.1f%%/%.1f%% (%d samples)\n",
+				100*b.Mean, 100*b.P10, 100*b.P50, 100*b.P90, b.Count)
+		}
+	}
+	if dec != nil {
+		fmt.Fprintf(out, "stats      early stop at %d/%d replications (target rel HW %g, reached %.4g, stopped=%t)\n",
+			dec.Reps, dec.MaxReps, dec.TargetRelHW, dec.RelHalfWidth, dec.Stopped)
+	}
 	if *n > 1 {
 		fmt.Fprintf(out, "balance    load imbalance (max-min)/mean activations = %.4f\n", res.LoadImbalance())
 	}
@@ -394,7 +440,7 @@ func runRecord(cfg sim.Config, engine sim.Engine, digest string, elapsed time.Du
 // trace bytes to the run's configuration, metrics, and phase breakdown,
 // in the same schema cmd/experiments uses, so cmd/tracetool replay
 // verifies simulate traces too.
-func writeTraceManifest(tracePath string, tw *trace.Writer, withFlight bool, cfg sim.Config, engine sim.Engine, digest string, start time.Time, elapsed time.Duration, diff map[string]float64, phases *obs.Phase) error {
+func writeTraceManifest(tracePath string, tw *trace.Writer, withFlight bool, cfg sim.Config, engine sim.Engine, digest string, start time.Time, elapsed time.Duration, diff map[string]float64, phases *obs.Phase, st *stats.Report, early *obs.EarlyStopInfo) error {
 	mode := "full"
 	if withFlight {
 		mode = "full+flight"
@@ -425,7 +471,25 @@ func writeTraceManifest(tracePath string, tw *trace.Writer, withFlight bool, cfg
 			Records: c.Records,
 			Spans:   c.Spans,
 		},
-		Phases: phases,
+		Phases:    phases,
+		Stats:     st,
+		EarlyStop: early,
 	}
 	return man.Write(tracePath + ".manifest.json")
+}
+
+// earlyStopInfo converts a sim.StopDecision into its manifest mirror
+// (obs cannot import sim). Nil-safe.
+func earlyStopInfo(d *sim.StopDecision) *obs.EarlyStopInfo {
+	if d == nil {
+		return nil
+	}
+	return &obs.EarlyStopInfo{
+		TargetRelHW:  d.TargetRelHW,
+		MinReps:      d.MinReps,
+		MaxReps:      d.MaxReps,
+		Reps:         d.Reps,
+		RelHalfWidth: d.RelHalfWidth,
+		Stopped:      d.Stopped,
+	}
 }

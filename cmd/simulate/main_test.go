@@ -177,3 +177,86 @@ func TestTraceManifestCarriesPhases(t *testing.T) {
 		t.Fatalf("manifest phases = %+v", man.Phases)
 	}
 }
+
+// stripStatsLines drops the "stats " summary lines so runs with and
+// without the streaming probe can be compared for RNG-neutrality.
+func stripStatsLines(out string) string {
+	var kept []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "stats ") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+// TestStatsFlagIsOutputNeutral: the streaming probe consumes no random
+// draws, so every non-stats output line is byte-identical with and
+// without it, on both engines and under batching.
+func TestStatsFlagIsOutputNeutral(t *testing.T) {
+	for _, extra := range [][]string{
+		{"-kernel", "off"},
+		{"-kernel", "on"},
+		{"-kernel", "on", "-batch", "8"},
+	} {
+		base := append([]string{"-T", "50000", "-seed", "9", "-metrics"}, extra...)
+		var off strings.Builder
+		if err := run(append(append([]string{}, base...), "-stats=false"), &off); err != nil {
+			t.Fatal(err)
+		}
+		var on strings.Builder
+		if err := run(base, &on); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(on.String(), "stats      qom ") {
+			t.Errorf("%v: stats run printed no qom summary:\n%s", extra, on.String())
+		}
+		if g := stripStatsLines(on.String()); g != off.String() {
+			t.Errorf("%v: probe changed the output:\n--- with stats ---\n%s--- without ---\n%s",
+				extra, g, off.String())
+		}
+	}
+}
+
+// TestEarlyStopOutputAndManifest: a loose CI target stops inside the
+// budget and records the decision in both stdout and the manifest.
+func TestEarlyStopOutputAndManifest(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "run.evtrace")
+	var sb strings.Builder
+	args := []string{"-T", "20000", "-seed", "9", "-batch", "32",
+		"-target-rel-hw", "0.5", "-trace", tracePath}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "stats      early stop at ") {
+		t.Fatalf("stdout missing early-stop line:\n%s", sb.String())
+	}
+	man, err := obs.ReadManifest(tracePath + ".manifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := man.EarlyStop
+	if es == nil {
+		t.Fatal("manifest has no early_stop block")
+	}
+	if !es.Stopped || es.Reps >= 32 || es.Reps < 2 {
+		t.Fatalf("loose target did not stop inside the budget: %+v", es)
+	}
+	if es.RelHalfWidth <= 0 || es.RelHalfWidth > es.TargetRelHW {
+		t.Fatalf("recorded half-width %v misses target %v", es.RelHalfWidth, es.TargetRelHW)
+	}
+	if man.Stats == nil || man.Stats.Mean <= 0 {
+		t.Fatalf("early-stopped run has no usable stats block: %+v", man.Stats)
+	}
+}
+
+func TestSimulateEarlyStopFlagValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-T", "1000", "-target-rel-hw", "0.1"}, &sb); err == nil {
+		t.Fatal("-target-rel-hw without -batch accepted")
+	}
+	if err := run([]string{"-T", "1000", "-batch", "4", "-min-reps", "2"}, &sb); err == nil {
+		t.Fatal("-min-reps without -target-rel-hw accepted")
+	}
+}

@@ -4,13 +4,18 @@
 // Usage:
 //
 //	tracetool dump [-format csv|jsonl] trace.evtrace
-//	tracetool stats trace.evtrace
+//	tracetool stats [-manifest run.manifest.json] trace.evtrace
 //	tracetool diff a.evtrace b.evtrace
 //	tracetool replay run.manifest.json
 //
 // dump renders every frame as CSV (default) or JSON lines. stats
 // aggregates the trace into a per-activation-region breakdown plus
-// energy-outage episode statistics. diff reports the first slot where
+// energy-outage episode statistics, and rebuilds every run's QoM
+// indicator stream through the same streaming estimators
+// (internal/stats) the simulators' probe uses, printing per-run and
+// pooled confidence intervals; with -manifest it verifies the rebuilt
+// estimate against the manifest's stats block and exits nonzero on
+// disagreement. diff reports the first slot where
 // two traces diverge (engine tags ignored, so reference and kernel
 // traces of the same run compare up to the kernel's sleep spans).
 // replay re-derives events, captures, the miss decomposition, and
@@ -30,6 +35,7 @@ import (
 	"path/filepath"
 
 	"eventcap/internal/obs"
+	"eventcap/internal/stats"
 	"eventcap/internal/trace"
 )
 
@@ -170,21 +176,92 @@ func dumpCSV(out io.Writer, f trace.Frame, run int64) error {
 }
 
 func runStats(args []string, out io.Writer) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: tracetool stats <trace>")
+	fs := flag.NewFlagSet("tracetool stats", flag.ContinueOnError)
+	manifest := fs.String("manifest", "", "verify the rebuilt QoM estimate against this run manifest's stats block (exits nonzero on mismatch)")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	f, err := openTrace(args[0])
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: tracetool stats [-manifest run.manifest.json] <trace>")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return fmt.Errorf("reading trace: %w", err)
+	}
+	rep, err := trace.Stats(bytes.NewReader(data))
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	rep, err := trace.Stats(f)
+	// Rebuild the per-run QoM streams through the same streaming
+	// estimators the simulation's probe uses, so the reports compare
+	// field by field with a manifest's stats block.
+	runs, err := trace.QoMReports(bytes.NewReader(data))
 	if err != nil {
 		return err
 	}
+	report := struct {
+		Trace *trace.StatsReport `json:"trace"`
+		QoM   struct {
+			Runs   []stats.Report `json:"runs"`
+			Pooled stats.Report   `json:"pooled"`
+		} `json:"qom"`
+	}{Trace: rep}
+	report.QoM.Runs = runs
+	report.QoM.Pooled = trace.PoolQoM(runs)
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	if *manifest == "" {
+		return nil
+	}
+	return checkStatsAgainstManifest(out, report.QoM.Pooled, *manifest)
+}
+
+// checkStatsAgainstManifest asserts the trace-rebuilt pooled QoM
+// estimate against the manifest's stats block. The point estimate must
+// always agree (both sides compute Σcaptures/Σevents over the same
+// integers). The CI half-width is method-dependent: it is asserted
+// only when the manifest interval also came from batch means — then
+// the rebuilt streams are the probe's streams and the half-widths
+// agree to roundoff — and reported informationally otherwise (e.g. a
+// replication CI over a batch run spreads differently by design).
+func checkStatsAgainstManifest(out io.Writer, pooled stats.Report, path string) error {
+	man, err := obs.ReadManifest(path)
+	if err != nil {
+		return err
+	}
+	ms := man.Stats
+	if ms == nil {
+		return fmt.Errorf("manifest %s has no stats block (run with -stats)", path)
+	}
+	var problems []string
+	if pooled.Events != ms.Events || pooled.Captures != ms.Captures {
+		problems = append(problems, fmt.Sprintf("totals: trace %d/%d events/captures, manifest %d/%d",
+			pooled.Events, pooled.Captures, ms.Events, ms.Captures))
+	}
+	if math.Abs(pooled.Mean-ms.Mean) > 1e-9 {
+		problems = append(problems, fmt.Sprintf("qom mean: trace %.12f, manifest %.12f", pooled.Mean, ms.Mean))
+	}
+	batchMeansCI := ms.Method == stats.MethodBatchMeans ||
+		(ms.Method == stats.MethodPooled && ms.Of == stats.MethodBatchMeans)
+	if batchMeansCI && ms.HalfWidth > 0 {
+		if rel := math.Abs(pooled.HalfWidth-ms.HalfWidth) / ms.HalfWidth; rel > 1e-6 {
+			problems = append(problems, fmt.Sprintf("ci half-width: trace %.9g, manifest %.9g (rel err %.3g)",
+				pooled.HalfWidth, ms.HalfWidth, rel))
+		}
+	}
+	fmt.Fprintf(out, "manifest %s: qom %.6f ± %.6g, method %s\n",
+		filepath.Base(path), ms.Mean, ms.HalfWidth, ms.Method)
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(out, "  MISMATCH %s\n", p)
+		}
+		return fmt.Errorf("trace stats disagree with manifest on %d quantities", len(problems))
+	}
+	fmt.Fprintln(out, "  trace stats match manifest")
+	return nil
 }
 
 func runDiff(args []string, out io.Writer) error {

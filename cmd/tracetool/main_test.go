@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"eventcap/internal/obs"
+	"eventcap/internal/stats"
 	"eventcap/internal/trace"
 )
 
@@ -136,12 +137,77 @@ func TestStats(t *testing.T) {
 	if err := run([]string{"stats", tracePath}, &sb); err != nil {
 		t.Fatal(err)
 	}
-	var rep trace.StatsReport
-	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
-		t.Fatalf("stats output is not a trace.StatsReport: %v\n%s", err, sb.String())
+	var rep struct {
+		Trace trace.StatsReport `json:"trace"`
+		QoM   struct {
+			Runs   []stats.Report `json:"runs"`
+			Pooled stats.Report   `json:"pooled"`
+		} `json:"qom"`
 	}
-	if rep.Runs != 2 || len(rep.Regions) == 0 {
-		t.Errorf("stats report: %+v", rep)
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("stats output did not parse: %v\n%s", err, sb.String())
+	}
+	if rep.Trace.Runs != 2 || len(rep.Trace.Regions) == 0 {
+		t.Errorf("trace block: %+v", rep.Trace)
+	}
+	if len(rep.QoM.Runs) != 2 {
+		t.Fatalf("qom runs: %+v", rep.QoM.Runs)
+	}
+	// Ground truth: run 0 has 3 events / 1 capture, run 1 has 2 / 1
+	// (the span's event is a miss).
+	if r := rep.QoM.Runs[0]; r.Events != 3 || r.Captures != 1 || r.Method != stats.MethodBatchMeans {
+		t.Errorf("run 0 report: %+v", r)
+	}
+	if r := rep.QoM.Runs[1]; r.Events != 2 || r.Captures != 1 {
+		t.Errorf("run 1 report: %+v", r)
+	}
+	p := rep.QoM.Pooled
+	if p.Events != 5 || p.Captures != 2 || p.Mean != 0.4 || p.Method != stats.MethodPooled {
+		t.Errorf("pooled report: %+v", p)
+	}
+}
+
+// TestStatsManifestCheck: -manifest verifies the rebuilt estimate
+// against the manifest's stats block, and fails on a doctored mean.
+func TestStatsManifestCheck(t *testing.T) {
+	tracePath, manifestPath := writeSample(t, t.TempDir())
+
+	// The sample manifest has no stats block yet: that is an error.
+	var sb strings.Builder
+	if err := run([]string{"stats", "-manifest", manifestPath, tracePath}, &sb); err == nil {
+		t.Fatal("manifest without stats block accepted")
+	}
+
+	addStats := func(mean float64) {
+		t.Helper()
+		man, err := obs.ReadManifest(manifestPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		man.Stats = &stats.Report{
+			Method: stats.MethodPooled, Of: stats.MethodBatchMeans,
+			Events: 5, Captures: 2, Mean: mean, Count: 2,
+		}
+		if err := man.Write(manifestPath); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addStats(0.4)
+	sb.Reset()
+	if err := run([]string{"stats", "-manifest", manifestPath, tracePath}, &sb); err != nil {
+		t.Fatalf("matching manifest rejected: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "trace stats match manifest") {
+		t.Errorf("missing match confirmation:\n%s", sb.String())
+	}
+
+	addStats(0.5)
+	sb.Reset()
+	if err := run([]string{"stats", "-manifest", manifestPath, tracePath}, &sb); err == nil {
+		t.Fatal("doctored mean accepted")
+	}
+	if !strings.Contains(sb.String(), "MISMATCH qom mean") {
+		t.Errorf("missing mismatch report:\n%s", sb.String())
 	}
 }
 

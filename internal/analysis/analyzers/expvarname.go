@@ -30,6 +30,7 @@ var metricSubsystems = map[string]bool{
 	"cache": true, // policy/plan cache hit rates
 	"span":  true, // phase-span tracer lifecycle (span.begun, span.ended)
 	"runs":  true, // run registry for the /debug/runs dashboard
+	"stats": true, // streaming-estimator surface (stats.qom.mean, …)
 }
 
 // metricConstructors are the entry points that register a metric (or a
@@ -44,6 +45,7 @@ var metricConstructors = []struct {
 	{"internal/obs", "NewFloatCounter"},
 	{"internal/obs", "NewCounterVec"},
 	{"internal/obs", "NewDurationHist"},
+	{"internal/obs", "NewFloatGauge"},
 	{"internal/trace", "NewDumpReason"},
 }
 

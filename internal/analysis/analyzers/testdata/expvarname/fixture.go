@@ -36,6 +36,13 @@ func metrics(suffix string) {
 	// expvarname:ok fixture demonstrates a justified one-off subsystem
 	_ = obs.NewCounter("scratch.fixture.hits")
 
+	// The streaming-statistics surface registers float gauges under the
+	// stats subsystem; NewFloatGauge is schema-checked like the rest.
+	_ = obs.NewFloatGauge("stats.fixture.qom_mean") // quiet
+	_ = obs.NewFloatGauge("stats.Fixture.Mean")     // want `violates the eventcap schema`
+	_ = obs.NewFloatGauge("statz.fixture.mean")     // want `unknown subsystem "statz"`
+	_ = obs.NewFloatGauge("stats." + suffix)        // want `not a string literal`
+
 	// Flight-recorder dump reasons register a backing counter, so their
 	// names obey the same schema.
 	_ = trace.NewDumpReason("trace.dump.fixture")  // quiet

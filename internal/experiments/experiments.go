@@ -9,9 +9,11 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"eventcap/internal/obs"
 	"eventcap/internal/sim"
+	"eventcap/internal/stats"
 	"eventcap/internal/trace"
 )
 
@@ -56,6 +58,85 @@ type Options struct {
 	// throughput and ETA under -batch and multi-sensor sweeps. The same
 	// Progress is typically also installed as the pool observer.
 	Progress *obs.Progress
+	// Stats, when non-nil, turns on streaming statistics for every
+	// simulation the experiment performs and pools the per-run QoM
+	// reports into one experiment-level estimate. RNG-neutral like
+	// Tracer/Span/Progress: results are byte-identical with or without
+	// it.
+	Stats *StatsCollector
+	// TargetRelHW, when > 0 together with Batch > 1, runs every
+	// simulation under CI-targeted early stop (sim.RunWithEarlyStop):
+	// replications stop as soon as the QoM CI's relative half-width
+	// reaches the target. Unlike every other option this one changes
+	// results — a converged run executes fewer replications than Batch;
+	// the realized counts land in Stats' decision record.
+	TargetRelHW float64
+	// MinReps is the minimum replications before TargetRelHW may stop a
+	// run (0 means the monitor's default of 2).
+	MinReps int
+}
+
+// StatsCollector pools the streaming QoM reports of every simulation an
+// experiment performs into one experiment-level estimate, and remembers
+// the early-stop decisions taken along the way. Sweep points run
+// concurrently, so all mutation is mutex-guarded; Live, when set,
+// additionally receives every interim report the engines publish (the
+// CLI points it at the run registry's StatsView) and must itself be
+// safe for concurrent calls.
+type StatsCollector struct {
+	Live func(stats.Report)
+
+	mu      sync.Mutex
+	pool    stats.Pool
+	dec     *sim.StopDecision
+	stopped int
+}
+
+// observe folds one finished simulation into the pool. dec is non-nil
+// only for early-stopped runs; the last decision wins (an experiment's
+// sweep points share one options block, so their monitors agree).
+func (c *StatsCollector) observe(res *sim.Result, dec *sim.StopDecision) {
+	if c == nil || res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if res.Stats != nil {
+		c.pool.Add(*res.Stats)
+	}
+	if dec != nil {
+		c.dec = dec
+		if dec.Stopped {
+			c.stopped++
+		}
+	}
+}
+
+// Report returns the pooled QoM report over every simulation observed
+// so far; ok is false before the first one.
+func (c *StatsCollector) Report() (stats.Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pool.Runs() == 0 {
+		return stats.Report{}, false
+	}
+	return c.pool.Report(stats.DefaultCILevel), true
+}
+
+// Decision returns the last early-stop decision, or nil when no run
+// used one.
+func (c *StatsCollector) Decision() *sim.StopDecision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dec
+}
+
+// StoppedRuns counts the simulations that stopped before exhausting
+// their replication budget.
+func (c *StatsCollector) StoppedRuns() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stopped
 }
 
 func (o Options) withDefaults() Options {
@@ -87,13 +168,19 @@ func runSim(opts Options, cfg sim.Config) (*sim.Result, error) {
 	if opts.Batch > 1 {
 		cfg.Batch = opts.Batch
 	}
+	if opts.Stats != nil {
+		cfg.Stats = true
+		cfg.StatsSink = opts.Stats.Live
+	}
 	sp := opts.Span.Fork("sim.run")
 	defer sp.End()
 	cfg.Span = sp
 	if opts.Progress != nil {
 		// One work unit per simulated slot: Slots × replications ×
 		// sensors. The engines report completions at chunk/sensor/run
-		// granularity through cfg.Progress.
+		// granularity through cfg.Progress. An early-stopped run
+		// completes less than the work added here; the progress line
+		// then under-reports done, never over.
 		n, b := cfg.N, cfg.Batch
 		if n < 1 {
 			n = 1
@@ -104,7 +191,23 @@ func runSim(opts Options, cfg sim.Config) (*sim.Result, error) {
 		opts.Progress.AddWork(cfg.Slots * int64(n) * int64(b))
 		cfg.Progress = opts.Progress
 	}
-	return sim.Run(cfg)
+	if opts.TargetRelHW > 0 && cfg.Batch > 1 {
+		res, dec, err := sim.RunWithEarlyStop(cfg, sim.EarlyStopOptions{
+			TargetRelHW: opts.TargetRelHW,
+			MinReps:     opts.MinReps,
+		})
+		if err != nil {
+			return nil, err
+		}
+		opts.Stats.observe(res, dec)
+		return res, nil
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	opts.Stats.observe(res, nil)
+	return res, nil
 }
 
 // SolvePhase marks an explicit policy-solve step on the options' span:

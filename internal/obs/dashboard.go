@@ -27,6 +27,7 @@ td, th { padding: 0.2em 0.8em; text-align: left; border-bottom: 1px solid #ddd; 
 .bar.b2 { background: #d9a44a; }
 .bar.b3 { background: #c75d5d; }
 .phase { white-space: nowrap; }
+.spark { letter-spacing: 1px; color: #4a90d9; }
 .err { color: #c00; }
 .dim { color: #888; }
 </style>
@@ -42,12 +43,14 @@ td, th { padding: 0.2em 0.8em; text-align: left; border-bottom: 1px solid #ddd; 
 <h2>active ({{len .Active}})</h2>
 {{if .Active}}
 <table>
-<tr><th>run</th><th>since</th><th>progress</th><th>digest</th></tr>
+<tr><th>run</th><th>since</th><th>progress</th><th>qom (95% CI)</th><th>convergence</th><th>digest</th></tr>
 {{range .Active}}
 <tr>
 <td>{{.Name}}</td>
 <td>{{.Since}}</td>
 <td>{{.Progress}}</td>
+<td>{{.QoM}}</td>
+<td class="spark">{{.Spark}}</td>
 <td class="dim">{{.Digest}}</td>
 </tr>
 {{end}}
@@ -57,13 +60,14 @@ td, th { padding: 0.2em 0.8em; text-align: left; border-bottom: 1px solid #ddd; 
 <h2>completed ({{len .Completed}})</h2>
 {{if .Completed}}
 <table>
-<tr><th>run</th><th>status</th><th>engine</th><th>wall</th><th>phases</th></tr>
+<tr><th>run</th><th>status</th><th>engine</th><th>wall</th><th>qom (95% CI)</th><th>phases</th></tr>
 {{range .Completed}}
 <tr>
 <td>{{.Name}}</td>
 <td{{if .Failed}} class="err"{{end}}>{{.Status}}</td>
 <td>{{.Engine}}</td>
 <td>{{.Wall}}</td>
+<td>{{.QoM}}</td>
 <td>{{range $i, $p := .Phases}}<span class="phase" title="{{$p.Detail}}"><span class="bar b{{$p.Color}}" style="width: {{$p.Width}}px"></span> {{$p.Name}} {{$p.Wall}}</span> {{end}}</td>
 </tr>
 {{end}}
@@ -85,6 +89,8 @@ type dashActive struct {
 	Name     string
 	Since    string
 	Progress string
+	QoM      string
+	Spark    string
 	Digest   string
 }
 
@@ -94,7 +100,21 @@ type dashCompleted struct {
 	Failed bool
 	Engine string
 	Wall   string
+	QoM    string
 	Phases []dashPhase
+}
+
+// fmtQoM renders a point estimate with its CI half-width ("0.8123 ±
+// 0.0042"); hasCI=false drops the band, mean<=0 with no captures at all
+// renders as a dash.
+func fmtQoM(mean, halfWidth float64, hasCI bool) string {
+	if mean == 0 && halfWidth == 0 && !hasCI {
+		return "–"
+	}
+	if !hasCI {
+		return fmt.Sprintf("%.4f", mean)
+	}
+	return fmt.Sprintf("%.4f ± %.4f", mean, halfWidth)
 }
 
 type dashData struct {
@@ -150,6 +170,12 @@ func (r *Registry) Handler() http.Handler {
 			} else {
 				v.Progress = "running"
 			}
+			if r, ok := a.Stats.Last(); ok {
+				v.QoM = fmtQoM(r.Mean, r.HalfWidth, r.Level != 0)
+				v.Spark = a.Stats.Sparkline()
+			} else {
+				v.QoM = "–"
+			}
 			data.Active = append(data.Active, v)
 		}
 		for _, c := range r.CompletedRuns() {
@@ -160,6 +186,7 @@ func (r *Registry) Handler() http.Handler {
 				Failed: rec.Status != "ok",
 				Engine: rec.Engine,
 				Wall:   (time.Duration(rec.WallMillis) * time.Millisecond).String(),
+				QoM:    fmtQoM(rec.QoMMean, rec.QoMHalfWidth, rec.QoMHalfWidth > 0),
 				Phases: phaseBars(rec.Phases),
 			})
 		}

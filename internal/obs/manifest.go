@@ -8,15 +8,22 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+
+	"eventcap/internal/stats"
 )
 
 // ManifestSchema identifies the manifest format; bump on breaking field
-// changes. v3 adds the optional phase-breakdown and journal fields; v2
-// added the trace block. Both predecessors remain readable.
-const ManifestSchema = "eventcap/run-manifest/v3"
+// changes. v4 adds the optional streaming-statistics block (QoM CI and
+// early-stop decision); v3 added the phase-breakdown and journal
+// fields; v2 added the trace block. All predecessors remain readable.
+const ManifestSchema = "eventcap/run-manifest/v4"
 
-// ManifestSchemaV2 is the previous schema version, still accepted by
-// ReadManifest (v3 only adds optional fields).
+// ManifestSchemaV3 is the previous schema version, still accepted by
+// ReadManifest (v4 only adds optional fields).
+const ManifestSchemaV3 = "eventcap/run-manifest/v3"
+
+// ManifestSchemaV2 is the schema version before v3, still accepted by
+// ReadManifest.
 const ManifestSchemaV2 = "eventcap/run-manifest/v2"
 
 // ManifestSchemaV1 is the original schema version, still accepted by
@@ -85,6 +92,28 @@ type Manifest struct {
 	// Journal is the base name of the run journal holding this run's
 	// wide-event record, when one was written (schema v3).
 	Journal string `json:"journal,omitempty"`
+
+	// Stats is the run's streaming QoM report — point estimate,
+	// confidence interval, truncation — pooled over the experiment's
+	// sim runs when there were several (schema v4).
+	Stats *stats.Report `json:"stats,omitempty"`
+
+	// EarlyStop records the CI-targeted early-stop decision when the run
+	// used one (schema v4).
+	EarlyStop *EarlyStopInfo `json:"early_stop,omitempty"`
+}
+
+// EarlyStopInfo mirrors sim.StopDecision for the manifest (obs cannot
+// import sim): the monitor's inputs, the replication count the run
+// settled on, and the relative half-width it reached. Stopped is false
+// when the run exhausted its replication budget instead.
+type EarlyStopInfo struct {
+	TargetRelHW  float64 `json:"target_rel_hw"`
+	MinReps      int     `json:"min_reps"`
+	MaxReps      int     `json:"max_reps"`
+	Reps         int     `json:"reps"`
+	RelHalfWidth float64 `json:"rel_half_width"`
+	Stopped      bool    `json:"stopped"`
 }
 
 // TraceInfo ties a manifest to its trace file: cmd/tracetool's replay
@@ -144,9 +173,11 @@ func ReadManifest(path string) (*Manifest, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("obs: parsing manifest %s: %w", path, err)
 	}
-	if m.Schema != ManifestSchema && m.Schema != ManifestSchemaV2 && m.Schema != ManifestSchemaV1 {
-		return nil, fmt.Errorf("obs: manifest %s has schema %q, want %q, %q or %q",
-			path, m.Schema, ManifestSchema, ManifestSchemaV2, ManifestSchemaV1)
+	switch m.Schema {
+	case ManifestSchema, ManifestSchemaV3, ManifestSchemaV2, ManifestSchemaV1:
+	default:
+		return nil, fmt.Errorf("obs: manifest %s has schema %q, want %q, %q, %q or %q",
+			path, m.Schema, ManifestSchema, ManifestSchemaV3, ManifestSchemaV2, ManifestSchemaV1)
 	}
 	return &m, nil
 }

@@ -3,8 +3,9 @@
 // engines, the policy cache and the worker pool record into, exported as
 // one expvar map ("eventcap" under /debug/vars).
 //
-// The package depends only on the standard library, and nothing in it
-// ever draws from a random stream — recording metrics cannot change any
+// The package depends only on the standard library (plus the equally
+// dependency-free internal/stats report types embedded in run
+// manifests), and nothing in it ever draws from a random stream — recording metrics cannot change any
 // simulation output (the RNG-neutrality contract of DESIGN.md §9).
 // Every metric type is a fixed-size struct updated with atomic
 // operations, so the hot paths that record into them allocate nothing.
@@ -36,7 +37,23 @@ const BatteryBins = 10
 var (
 	regMu sync.Mutex
 	reg   = make(map[string]func() float64)
+
+	// Family metadata for the Prometheus exposition (prom.go): flat
+	// expvar names don't say whether a metric is a counter, a gauge, a
+	// binned vector or a latency histogram, so the constructors record
+	// it here. Guarded by regMu like reg.
+	promCounters []string
+	promGauges   []string
+	promVecs     []promVecInfo
+	promHists    []string
 )
+
+// promVecInfo describes one CounterVec family: its base name and bin
+// count (bins are registered as "<name>.00" … "<name>.NN").
+type promVecInfo struct {
+	name string
+	n    int
+}
 
 func register(name string, load func() float64) {
 	regMu.Lock()
@@ -45,6 +62,12 @@ func register(name string, load func() float64) {
 		panic("obs: duplicate metric " + name)
 	}
 	reg[name] = load
+}
+
+func recordFamily(list *[]string, name string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	*list = append(*list, name)
 }
 
 func init() {
@@ -95,6 +118,7 @@ type Counter struct{ v atomic.Int64 }
 func NewCounter(name string) *Counter {
 	c := &Counter{}
 	register(name, func() float64 { return float64(c.v.Load()) })
+	recordFamily(&promCounters, name)
 	return c
 }
 
@@ -116,6 +140,8 @@ func NewGauge(name string) *Gauge {
 	g := &Gauge{}
 	register(name, func() float64 { return float64(g.v.Load()) })
 	register(name+".max", func() float64 { return float64(g.max.Load()) })
+	recordFamily(&promGauges, name)
+	recordFamily(&promGauges, name+".max")
 	return g
 }
 
@@ -144,6 +170,7 @@ type FloatCounter struct{ bits atomic.Uint64 }
 func NewFloatCounter(name string) *FloatCounter {
 	f := &FloatCounter{}
 	register(name, f.Load)
+	recordFamily(&promCounters, name)
 	return f
 }
 
@@ -161,6 +188,24 @@ func (f *FloatCounter) Add(v float64) {
 // Load returns the accumulated sum.
 func (f *FloatCounter) Load() float64 { return math.Float64frombits(f.bits.Load()) }
 
+// FloatGauge is an instantaneous float level (the stats.* estimates:
+// last-published QoM mean and CI half-widths).
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// NewFloatGauge registers and returns a float gauge.
+func NewFloatGauge(name string) *FloatGauge {
+	g := &FloatGauge{}
+	register(name, g.Value)
+	recordFamily(&promGauges, name)
+	return g
+}
+
+// Set replaces the gauge's value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // CounterVec is a fixed-length vector of counters (histogram bins),
 // registered as "<name>.00" … "<name>.NN".
 type CounterVec struct{ bins []Counter }
@@ -172,6 +217,9 @@ func NewCounterVec(name string, n int) *CounterVec {
 		c := &v.bins[i]
 		register(fmt.Sprintf("%s.%02d", name, i), func() float64 { return float64(c.Load()) })
 	}
+	regMu.Lock()
+	promVecs = append(promVecs, promVecInfo{name: name, n: n})
+	regMu.Unlock()
 	return v
 }
 
@@ -215,6 +263,7 @@ type DurationHist struct {
 // NewDurationHist registers and returns a latency histogram.
 func NewDurationHist(name string) *DurationHist {
 	h := &DurationHist{}
+	recordFamily(&promHists, name)
 	for i := range durationBuckets {
 		c := &h.buckets[i]
 		register(name+"."+durationBuckets[i].label, func() float64 { return float64(c.Load()) })
@@ -304,6 +353,15 @@ var (
 	PoolPending      = NewGauge("pool.pending")
 	PoolInFlight     = NewGauge("pool.inflight")
 	PoolLatency      = NewDurationHist("pool.latency")
+
+	// Streaming-statistics surface: the last QoM confidence interval
+	// published by a driver's stats collector (internal/sim's StatsProbe
+	// feeds these through the CLI sink). Gauges, not counters — each run
+	// overwrites the estimate of the one before it.
+	StatsReports         = NewCounter("stats.reports")
+	StatsQoMMean         = NewFloatGauge("stats.qom.mean")
+	StatsQoMHalfWidth    = NewFloatGauge("stats.qom.half_width")
+	StatsQoMRelHalfWidth = NewFloatGauge("stats.qom.rel_half_width")
 )
 
 // DigestConfig hashes an ordered list of "key=value" strings into the

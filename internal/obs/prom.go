@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) of the eventcap
+// metric set, stdlib-only. The expvar map under /debug/vars is the
+// source of truth; this file is a pure renaming and re-shaping of the
+// same Snapshot:
+//
+//   - dots become underscores under an "eventcap_" prefix
+//     (sim.runs.kernel → eventcap_sim_runs_kernel);
+//   - Counter and FloatCounter render as counter families, Gauge (and
+//     its ".max" high-water mark) and FloatGauge as gauges;
+//   - CounterVec bins collapse into one family with a bin="NN" label;
+//   - DurationHist renders as a native histogram family: cumulative
+//     _bucket{le="…"} series with bounds in seconds, _sum in seconds,
+//     and _count. The internal buckets are NON-cumulative (Observe
+//     increments only the first fitting bucket), so the translation
+//     accumulates them here.
+//
+// Families are emitted in sorted name order so the exposition is
+// byte-stable for a fixed Snapshot — scrape diffs stay readable.
+
+// promName converts a dotted expvar metric name to a Prometheus metric
+// name under the eventcap_ prefix.
+func promName(name string) string {
+	return "eventcap_" + strings.ReplaceAll(name, ".", "_")
+}
+
+// promVal formats a sample value the way Prometheus parsers expect.
+func promVal(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// histBucketSuffixes pairs each DurationHist bucket's expvar suffix
+// with its Prometheus le bound in seconds, in ascending order.
+var histBucketSuffixes = []struct {
+	suffix string
+	le     string
+}{
+	{".le_1ms", "0.001"},
+	{".le_10ms", "0.01"},
+	{".le_100ms", "0.1"},
+	{".le_1s", "1"},
+	{".le_10s", "10"},
+	{".le_100s", "100"},
+	{".inf", "+Inf"},
+}
+
+// WritePrometheus renders the current metric snapshot in Prometheus
+// text-exposition format.
+func WritePrometheus(w io.Writer) error {
+	snap := Snapshot()
+	regMu.Lock()
+	counters := append([]string(nil), promCounters...)
+	gauges := append([]string(nil), promGauges...)
+	vecs := append([]promVecInfo(nil), promVecs...)
+	hists := append([]string(nil), promHists...)
+	regMu.Unlock()
+
+	// One render closure per family keyed by exposition name, emitted in
+	// sorted order.
+	type family struct {
+		name   string
+		render func(io.Writer) error
+	}
+	fams := make([]family, 0, len(counters)+len(gauges)+len(vecs)+len(hists))
+	scalar := func(name, typ string) family {
+		pn := promName(name)
+		v := snap[name]
+		return family{name: pn, render: func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", pn, typ, pn, promVal(v))
+			return err
+		}}
+	}
+	for _, name := range counters {
+		fams = append(fams, scalar(name, "counter"))
+	}
+	for _, name := range gauges {
+		fams = append(fams, scalar(name, "gauge"))
+	}
+	for _, vec := range vecs {
+		pn := promName(vec.name)
+		name, n := vec.name, vec.n
+		fams = append(fams, family{name: pn, render: func(w io.Writer) error {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", pn); err != nil {
+				return err
+			}
+			for i := 0; i < n; i++ {
+				v := snap[fmt.Sprintf("%s.%02d", name, i)]
+				if _, err := fmt.Fprintf(w, "%s{bin=\"%02d\"} %s\n", pn, i, promVal(v)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}})
+	}
+	for _, name := range hists {
+		pn := promName(name)
+		hn := name
+		fams = append(fams, family{name: pn, render: func(w io.Writer) error {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+				return err
+			}
+			cum := 0.0
+			for _, b := range histBucketSuffixes {
+				cum += snap[hn+b.suffix]
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %s\n", pn, b.le, promVal(cum)); err != nil {
+					return err
+				}
+			}
+			_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %s\n",
+				pn, promVal(snap[hn+".sum_ns"]/1e9), pn, promVal(snap[hn+".count"]))
+			return err
+		}})
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if err := f.render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrometheusHandler serves WritePrometheus over HTTP; DebugMux mounts
+// it at /metrics, so any -metrics-addr debug server is scrapeable.
+func PrometheusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

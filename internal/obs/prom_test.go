@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"eventcap/internal/stats"
+)
+
+// exampleReport builds a minimal replication report with a CI.
+func exampleReport(mean, hw float64) stats.Report {
+	return stats.Report{
+		Method:       stats.MethodReplication,
+		Mean:         mean,
+		Level:        stats.DefaultCILevel,
+		HalfWidth:    hw,
+		RelHalfWidth: hw / mean,
+	}
+}
+
+// promBody scrapes /metrics through the debug mux and returns the body.
+func promBody(t *testing.T) string {
+	t.Helper()
+	srv := httptest.NewServer(DebugMux())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func wantLine(t *testing.T, body, line string) {
+	t.Helper()
+	if !strings.Contains(body, line+"\n") {
+		t.Errorf("exposition is missing %q", line)
+	}
+}
+
+func TestPrometheusScalars(t *testing.T) {
+	c := NewCounter("promtest.hits")
+	c.Add(41)
+	g := NewGauge("promtest.depth")
+	g.Add(5)
+	g.Add(-2)
+	f := NewFloatGauge("promtest.level")
+	f.Set(0.125)
+
+	body := promBody(t)
+	wantLine(t, body, "# TYPE eventcap_promtest_hits counter")
+	wantLine(t, body, "eventcap_promtest_hits 41")
+	wantLine(t, body, "# TYPE eventcap_promtest_depth gauge")
+	wantLine(t, body, "eventcap_promtest_depth 3")
+	wantLine(t, body, "eventcap_promtest_depth_max 5")
+	wantLine(t, body, "eventcap_promtest_level 0.125")
+}
+
+func TestPrometheusCounterVec(t *testing.T) {
+	v := NewCounterVec("promtest.bin", 3)
+	v.Add(0, 7)
+	v.Add(2, 9)
+
+	body := promBody(t)
+	wantLine(t, body, "# TYPE eventcap_promtest_bin counter")
+	wantLine(t, body, `eventcap_promtest_bin{bin="00"} 7`)
+	wantLine(t, body, `eventcap_promtest_bin{bin="01"} 0`)
+	wantLine(t, body, `eventcap_promtest_bin{bin="02"} 9`)
+}
+
+// TestPrometheusHistogramCumulates pins the shape translation: the
+// internal buckets count only their own range, the exposition must be
+// cumulative and in seconds.
+func TestPrometheusHistogramCumulates(t *testing.T) {
+	h := NewDurationHist("promtest.lat")
+	h.Observe(5 * time.Millisecond)  // le_10ms bucket
+	h.Observe(50 * time.Millisecond) // le_100ms bucket
+	h.Observe(2 * time.Minute)       // open top bucket
+
+	body := promBody(t)
+	wantLine(t, body, "# TYPE eventcap_promtest_lat histogram")
+	wantLine(t, body, `eventcap_promtest_lat_bucket{le="0.001"} 0`)
+	wantLine(t, body, `eventcap_promtest_lat_bucket{le="0.01"} 1`)
+	wantLine(t, body, `eventcap_promtest_lat_bucket{le="0.1"} 2`)
+	wantLine(t, body, `eventcap_promtest_lat_bucket{le="100"} 2`)
+	wantLine(t, body, `eventcap_promtest_lat_bucket{le="+Inf"} 3`)
+	wantLine(t, body, "eventcap_promtest_lat_count 3")
+	// Sum: 5ms + 50ms + 120s = 120.055 seconds.
+	wantLine(t, body, "eventcap_promtest_lat_sum 120.055")
+}
+
+// TestPrometheusStatsGauges: the stats.* surface round-trips through a
+// StatsView publish.
+func TestPrometheusStatsGauges(t *testing.T) {
+	v := &StatsView{}
+	r := exampleReport(0.8, 0.04)
+	r.RelHalfWidth = 0.05
+	v.Publish(r)
+
+	body := promBody(t)
+	wantLine(t, body, "eventcap_stats_qom_mean 0.8")
+	wantLine(t, body, "eventcap_stats_qom_half_width 0.04")
+	wantLine(t, body, "eventcap_stats_qom_rel_half_width 0.05")
+}
+
+// TestPrometheusSortedAndParsable: families arrive in sorted order and
+// every non-comment line is "name[{labels}] value".
+func TestPrometheusSortedAndParsable(t *testing.T) {
+	body := promBody(t)
+	var prevFamily string
+	for _, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		if fam, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			fam = strings.Fields(fam)[0]
+			if fam < prevFamily {
+				t.Fatalf("family %q after %q: exposition not sorted", fam, prevFamily)
+			}
+			prevFamily = fam
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || !strings.HasPrefix(fields[0], "eventcap_") {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+	if prevFamily == "" {
+		t.Fatal("no families in exposition")
+	}
+}

@@ -2,8 +2,11 @@ package obs
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"eventcap/internal/stats"
 )
 
 // Registry metrics: runs registered since process start, currently
@@ -41,7 +44,8 @@ func NewRegistry() *Registry {
 var DefaultRegistry = NewRegistry()
 
 // ActiveRun is one in-flight run. Progress and Span are optional live
-// views (nil when the driver doesn't track them).
+// views (nil when the driver doesn't track them); Stats is always
+// present — it just stays empty until the driver publishes into it.
 type ActiveRun struct {
 	reg *Registry
 	id  int64
@@ -51,6 +55,88 @@ type ActiveRun struct {
 	Started  time.Time
 	Progress *Progress
 	Span     *Span
+	Stats    *StatsView
+}
+
+// statsViewRing bounds the convergence history kept per active run.
+const statsViewRing = 32
+
+// sparkRunes are the eight block levels of the convergence sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// StatsView is an active run's live streaming-statistics surface: the
+// last interim stats.Report its sink published, plus a bounded history
+// of relative CI half-widths that the dashboard renders as a
+// convergence sparkline. Safe for concurrent Publish (the run's
+// goroutine) and reads (the dashboard handler).
+type StatsView struct {
+	mu    sync.Mutex
+	last  stats.Report
+	has   bool
+	relHW []float64
+}
+
+// Publish records an interim report and mirrors it into the stats.*
+// gauges, so a driver's StatsSink needs exactly one call per report.
+func (v *StatsView) Publish(r stats.Report) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	v.last, v.has = r, true
+	if r.RelHalfWidth > 0 {
+		v.relHW = append(v.relHW, r.RelHalfWidth)
+		if len(v.relHW) > statsViewRing {
+			v.relHW = v.relHW[len(v.relHW)-statsViewRing:]
+		}
+	}
+	v.mu.Unlock()
+	StatsReports.Inc()
+	StatsQoMMean.Set(r.Mean)
+	StatsQoMHalfWidth.Set(r.HalfWidth)
+	StatsQoMRelHalfWidth.Set(r.RelHalfWidth)
+}
+
+// Last returns the most recent published report, if any.
+func (v *StatsView) Last() (stats.Report, bool) {
+	if v == nil {
+		return stats.Report{}, false
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.last, v.has
+}
+
+// Sparkline renders the relative-half-width history oldest-to-newest,
+// scaled against the window maximum — a converging run reads as bars
+// stepping down toward ▁. Empty until a report carries a CI.
+func (v *StatsView) Sparkline() string {
+	if v == nil {
+		return ""
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	max := 0.0
+	for _, x := range v.relHW {
+		if x > max {
+			max = x
+		}
+	}
+	if max <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, x := range v.relHW {
+		i := int(x / max * float64(len(sparkRunes)-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sparkRunes) {
+			i = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
 }
 
 // CompletedRun is one finished run: when it finished and its final
@@ -69,6 +155,7 @@ func (r *Registry) Begin(name, digest string, prog *Progress, span *Span) *Activ
 		Started:  time.Now(),
 		Progress: prog,
 		Span:     span,
+		Stats:    &StatsView{},
 	}
 	r.mu.Lock()
 	r.nextID++

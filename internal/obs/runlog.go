@@ -51,6 +51,14 @@ type RunRecord struct {
 	Events   int64 `json:"events"`
 	Captures int64 `json:"captures"`
 
+	// QoMMean/QoMHalfWidth are the run's streaming QoM estimate and CI
+	// half-width (zero when stats collection was off); EarlyStopReps is
+	// the replication count a CI-targeted early stop settled on (zero
+	// when no early stop ran).
+	QoMMean       float64 `json:"qom_mean,omitempty"`
+	QoMHalfWidth  float64 `json:"qom_half_width,omitempty"`
+	EarlyStopReps int     `json:"early_stop_reps,omitempty"`
+
 	// Phases is the run's span breakdown (the manifest's schema-v3
 	// phases block).
 	Phases *Phase `json:"phases,omitempty"`
@@ -146,6 +154,9 @@ func (l *RunLog) Record(rec RunRecord) error {
 		slog.Any("fallbacks", rec.Fallbacks),
 		slog.Int64("events", rec.Events),
 		slog.Int64("captures", rec.Captures),
+		slog.Float64("qom_mean", rec.QoMMean),
+		slog.Float64("qom_half_width", rec.QoMHalfWidth),
+		slog.Int("early_stop_reps", rec.EarlyStopReps),
 		slog.Any("phases", rec.Phases),
 	)
 	return l.w.err

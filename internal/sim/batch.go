@@ -167,6 +167,16 @@ func runBatch(cfg Config, plan *batchPlan) (*Result, error) {
 	n := plan.sensors()
 	res := &Result{Slots: cfg.Slots, Sensors: make([]SensorStats, reps*n), Engine: EngineBatch}
 	sensors := res.Sensors
+	// The stats probe observes at replication granularity (mirroring
+	// Metrics.mergeReplica): chunks record their replications' event
+	// totals at disjoint indices, and the feed happens in replication
+	// order after the join — the workers' awake-run batching and draw
+	// discipline stay untouched.
+	probe := newStatsProbe(&cfg)
+	var repCounts [][2]int64
+	if probe != nil {
+		repCounts = make([][2]int64, reps)
+	}
 
 	ex := cfg.Span.Child("exec.batch")
 	defer ex.End()
@@ -197,6 +207,9 @@ func runBatch(cfg Config, plan *batchPlan) (*Result, error) {
 		csp.Count("replications", int64(hi-lo))
 		for r := lo; r < hi; r++ {
 			ev, cp := w.simulate(&cfg, plan, uint64(r), sensors[r*n:(r+1)*n], out.m, r == 0)
+			if repCounts != nil {
+				repCounts[r] = [2]int64{ev, cp}
+			}
 			out.events += ev
 			out.captures += cp
 		}
@@ -223,6 +236,11 @@ func runBatch(cfg Config, plan *batchPlan) (*Result, error) {
 			m.Merge(o.m)
 		}
 	}
+	if probe != nil {
+		for _, rc := range repCounts {
+			probe.ObserveReplica(rc[0], rc[1])
+		}
+	}
 	if res.Events > 0 {
 		res.QoM = float64(res.Captures) / float64(res.Events)
 	}
@@ -230,6 +248,7 @@ func runBatch(cfg Config, plan *batchPlan) (*Result, error) {
 	if m != nil {
 		m.publish(res)
 	}
+	probe.finish(res)
 	agg.End()
 	return res, nil
 }
@@ -574,10 +593,17 @@ func runBatchFallback(cfg Config) (*Result, error) {
 		m = &Metrics{}
 		res.Metrics = m
 	}
+	// The aggregate's stats probe observes at replication granularity,
+	// exactly like runBatch; the inner runs never see Stats/StatsSink
+	// (their per-event streams would describe one replication, not the
+	// batch).
+	probe := newStatsProbe(&cfg)
 	for r := 0; r < reps; r++ {
 		sub := cfg
 		sub.Batch = 0
 		sub.BatchChunk = 0
+		sub.Stats = false
+		sub.StatsSink = nil
 		sub.Seed = cfg.Seed + uint64(r)
 		// Every replication's compile/exec spans nest under this phase;
 		// replication 0 stands for all of them (spans are per-phase, and
@@ -597,6 +623,9 @@ func runBatchFallback(cfg Config) (*Result, error) {
 		res.Events += rr.Events
 		res.Captures += rr.Captures
 		res.Sensors = append(res.Sensors, rr.Sensors...)
+		if probe != nil {
+			probe.ObserveReplica(rr.Events, rr.Captures)
+		}
 		if r == 0 {
 			res.Engine = rr.Engine
 			res.Timeline = rr.Timeline
@@ -610,5 +639,6 @@ func runBatchFallback(cfg Config) (*Result, error) {
 	if res.Events > 0 {
 		res.QoM = float64(res.Captures) / float64(res.Events)
 	}
+	probe.finish(res)
 	return res, nil
 }

@@ -309,6 +309,7 @@ func runKernel(cfg Config, plan *kernelPlan) (*Result, error) {
 		m = &Metrics{}
 		res.Metrics = m
 	}
+	sprobe := newStatsProbe(&cfg)
 	// Per-awake-slot metric accumulators stay in locals (registers)
 	// inside the loop and flush into m once at the end, keeping the
 	// instrumented kernel within the slot-loop overhead budget of
@@ -323,7 +324,7 @@ func runKernel(cfg Config, plan *kernelPlan) (*Result, error) {
 	// on or off (off starts from MaxInt64 and never fires), so enabling
 	// collection only pays for every batterySampleStride-th observation.
 	sampleCountdown := int64(math.MaxInt64)
-	if m != nil {
+	if m != nil || sprobe != nil {
 		sampleCountdown = batterySampleStride
 	}
 
@@ -431,6 +432,9 @@ func runKernel(cfg Config, plan *kernelPlan) (*Result, error) {
 				m.KernelSlotsFastForwarded += n
 				m.MissAsleep += res.Events - eventsBefore
 			}
+			if sprobe != nil {
+				sprobe.ObserveMisses(res.Events - eventsBefore)
+			}
 			t += n
 			continue
 		}
@@ -489,6 +493,9 @@ func runKernel(cfg Config, plan *kernelPlan) (*Result, error) {
 					m.MissAsleep++
 				}
 			}
+			if sprobe != nil {
+				sprobe.ObserveEvent(captured)
+			}
 			if tr != nil && !captured && denied {
 				tr.OutageMiss(t)
 			}
@@ -537,15 +544,20 @@ func runKernel(cfg Config, plan *kernelPlan) (*Result, error) {
 		if sampleCountdown == 0 {
 			sampleCountdown = batterySampleStride
 			lvl := battery.Level()
-			obsSlots++
-			fracSum += lvl * invCap
-			bin := int(lvl * binScale)
-			if bin >= batteryBins {
-				bin = batteryBins - 1
+			if m != nil {
+				obsSlots++
+				fracSum += lvl * invCap
+				bin := int(lvl * binScale)
+				if bin >= batteryBins {
+					bin = batteryBins - 1
+				}
+				m.BatteryHist[bin]++
+				if lvl < costGate {
+					outage++
+				}
 			}
-			m.BatteryHist[bin]++
-			if lvl < costGate {
-				outage++
+			if sprobe != nil {
+				sprobe.ObserveBattery(lvl * invCap)
 			}
 		}
 		t++
@@ -570,5 +582,6 @@ func runKernel(cfg Config, plan *kernelPlan) (*Result, error) {
 		m.WastedActivations = stats.Activations - stats.Captures
 		m.publish(res)
 	}
+	sprobe.finish(res)
 	return res, nil
 }

@@ -83,6 +83,7 @@ func runKernelMulti(cfg Config, plan *kernelPlan) (*Result, error) {
 		m = &Metrics{}
 		res.Metrics = m
 	}
+	sprobe := newStatsProbe(&cfg)
 	// Same accumulator discipline as runKernel: per-awake-slot metric
 	// state stays in locals and flushes once at the end. Occupancy tracks
 	// sensor 0 every stride-th awake slot (the kernel convention).
@@ -92,7 +93,7 @@ func runKernelMulti(cfg Config, plan *kernelPlan) (*Result, error) {
 	var obsSlots, outage int64
 	var fracSum float64
 	sampleCountdown := int64(math.MaxInt64)
-	if m != nil {
+	if m != nil || sprobe != nil {
 		sampleCountdown = batterySampleStride
 	}
 
@@ -159,6 +160,9 @@ func runKernelMulti(cfg Config, plan *kernelPlan) (*Result, error) {
 				m.KernelSlotsFastForwarded += run
 				m.MissAsleep += res.Events - eventsBefore
 			}
+			if sprobe != nil {
+				sprobe.ObserveMisses(res.Events - eventsBefore)
+			}
 			t += run
 			continue
 		}
@@ -208,6 +212,9 @@ func runKernelMulti(cfg Config, plan *kernelPlan) (*Result, error) {
 					m.MissAsleep++
 				}
 			}
+			if sprobe != nil {
+				sprobe.ObserveEvent(captured)
+			}
 		}
 		// End-of-slot battery sample on every stride-th awake slot,
 		// matching the single-sensor kernel's convention.
@@ -215,15 +222,20 @@ func runKernelMulti(cfg Config, plan *kernelPlan) (*Result, error) {
 		if sampleCountdown == 0 {
 			sampleCountdown = batterySampleStride
 			lvl := batteries[0].Level()
-			obsSlots++
-			fracSum += lvl * invCap
-			bin := int(lvl * binScale)
-			if bin >= batteryBins {
-				bin = batteryBins - 1
+			if m != nil {
+				obsSlots++
+				fracSum += lvl * invCap
+				bin := int(lvl * binScale)
+				if bin >= batteryBins {
+					bin = batteryBins - 1
+				}
+				m.BatteryHist[bin]++
+				if lvl < costGate {
+					outage++
+				}
 			}
-			m.BatteryHist[bin]++
-			if lvl < costGate {
-				outage++
+			if sprobe != nil {
+				sprobe.ObserveBattery(lvl * invCap)
 			}
 		}
 		t++
@@ -250,6 +262,7 @@ func runKernelMulti(cfg Config, plan *kernelPlan) (*Result, error) {
 		}
 		m.publish(res)
 	}
+	sprobe.finish(res)
 	return res, nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"eventcap/internal/obs"
 	"eventcap/internal/parallel"
 	"eventcap/internal/rng"
+	"eventcap/internal/stats"
 	"eventcap/internal/trace"
 )
 
@@ -146,6 +147,10 @@ type Result struct {
 	// Metrics holds the run's observability counters when
 	// Config.Metrics is set, nil otherwise.
 	Metrics *Metrics
+	// Stats holds the streaming-statistics report (QoM point estimate,
+	// CI, battery summary — DESIGN.md §16) when Config.Stats or
+	// Config.StatsSink is set, nil otherwise.
+	Stats *stats.Report
 }
 
 // LoadImbalance returns (max - min)/mean of per-sensor activation counts:
@@ -287,6 +292,20 @@ type Config struct {
 	// inside long runs. RNG-neutral; reporting granularity never touches
 	// a random stream.
 	Progress *obs.Progress
+
+	// Stats, when true, attaches the streaming statistics probe
+	// (DESIGN.md §16): online QoM batch means with a confidence
+	// interval, per-replication samples on the batch engines, and a
+	// battery-occupancy summary, into Result.Stats. RNG-neutral under
+	// the same contract as Metrics — results are byte-identical with
+	// the probe on or off (asserted by TestStatsDoNotChangeResults).
+	Stats bool
+
+	// StatsSink, when non-nil, receives interim streaming reports
+	// during the run (every statsPublishStride QoM observations) and
+	// the final one; it implies the probe even when Stats is false.
+	// Called synchronously from the engine's coordinating goroutine.
+	StatsSink func(stats.Report)
 }
 
 func (c *Config) validate() error {
@@ -473,6 +492,7 @@ func Run(cfg Config) (*Result, error) {
 		m = &Metrics{}
 		res.Metrics = m
 	}
+	sp := newStatsProbe(&cfg)
 	// Tracing state: trFull demands a record for every decided slot;
 	// otherwise only decision-relevant slots (nonzero activation
 	// probability or an event) reach the flight recorder, which keeps
@@ -629,10 +649,10 @@ func Run(cfg Config) (*Result, error) {
 	// data-dependent branch inside the loop: a period-stride pattern
 	// inside a body with dozens of branches is beyond any predictor's
 	// history, and the resulting mispredictions cost far more than the
-	// observation itself. With metrics off there is a single chunk and
-	// the loop is exactly the uninstrumented loop.
+	// observation itself. With metrics and stats off there is a single
+	// chunk and the loop is exactly the uninstrumented loop.
 	chunkLen := cfg.Slots
-	if m != nil {
+	if m != nil || sp != nil {
 		chunkLen = batterySampleStride
 	}
 	for t = 1; t <= cfg.Slots; {
@@ -722,6 +742,9 @@ func Run(cfg Config) (*Result, error) {
 						m.MissAsleep++
 					}
 				}
+				if sp != nil {
+					sp.ObserveEvent(captured)
+				}
 				if tr != nil && !captured && eventDenied {
 					tr.OutageMiss(t)
 				}
@@ -752,17 +775,22 @@ func Run(cfg Config) (*Result, error) {
 		// Sample sensor 0's end-of-slot battery level once per full
 		// chunk (chunkEnd is stride-aligned except possibly the last,
 		// so ObservedSlots == Slots/batterySampleStride exactly).
-		if m != nil && chunkEnd&(batterySampleStride-1) == 0 {
+		if (m != nil || sp != nil) && chunkEnd&(batterySampleStride-1) == 0 {
 			lvl := batteries[0].Level()
-			obsSlots++
-			fracSum += lvl * invCap
-			bin := int(lvl * binScale)
-			if bin >= batteryBins {
-				bin = batteryBins - 1
+			if m != nil {
+				obsSlots++
+				fracSum += lvl * invCap
+				bin := int(lvl * binScale)
+				if bin >= batteryBins {
+					bin = batteryBins - 1
+				}
+				m.BatteryHist[bin]++
+				if lvl < costGate {
+					outage++
+				}
 			}
-			m.BatteryHist[bin]++
-			if lvl < costGate {
-				outage++
+			if sp != nil {
+				sp.ObserveBattery(lvl * invCap)
 			}
 		}
 	}
@@ -793,6 +821,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		m.publish(res)
 	}
+	sp.finish(res)
 	return res, nil
 }
 
@@ -841,6 +870,10 @@ func runIndependent(cfg Config, plans []indepSensorPlan) (*Result, error) {
 
 	cost := cfg.Params.ActivationCost()
 	invCap := 1 / cfg.BatteryCap
+	// The stats probe is shared with the sensor jobs, but only sensor
+	// 0's job touches it (battery samples) and the event feed below
+	// runs after the jobs join — single-threaded access throughout.
+	probe := newStatsProbe(&cfg)
 
 	// A full-trace writer is a single stream, so the sensor jobs run on
 	// one worker, in index order — the per-sensor decomposition already
@@ -918,7 +951,7 @@ func runIndependent(cfg Config, plans []indepSensorPlan) (*Result, error) {
 			// convention: sensor 0, every stride-th awake (non-skipped)
 			// slot.
 			sampleCountdown := int64(math.MaxInt64)
-			if m != nil && s == 0 {
+			if (m != nil || probe != nil) && s == 0 {
 				sampleCountdown = batterySampleStride
 			}
 			lastCapture := int64(0)
@@ -991,9 +1024,15 @@ func runIndependent(cfg Config, plans []indepSensorPlan) (*Result, error) {
 				sampleCountdown--
 				if sampleCountdown == 0 {
 					sampleCountdown = batterySampleStride
-					m.observeBattery(b.Level() * invCap)
-					if !b.CanConsume(cost) {
-						m.EnergyOutageSlots++
+					lvl := b.Level() * invCap
+					if m != nil {
+						m.observeBattery(lvl)
+						if !b.CanConsume(cost) {
+							m.EnergyOutageSlots++
+						}
+					}
+					if probe != nil {
+						probe.ObserveBattery(lvl)
 					}
 				}
 				t++
@@ -1086,10 +1125,16 @@ func runIndependent(cfg Config, plans []indepSensorPlan) (*Result, error) {
 			// Battery occupancy is defined on sensor 0's end-of-slot
 			// level, matching the sequential engine and
 			// TimelinePoint.Battery.
-			if m != nil && s == 0 && t&(batterySampleStride-1) == 0 {
-				m.observeBattery(b.Level() * invCap)
-				if !b.CanConsume(cost) {
-					m.EnergyOutageSlots++
+			if (m != nil || probe != nil) && s == 0 && t&(batterySampleStride-1) == 0 {
+				lvl := b.Level() * invCap
+				if m != nil {
+					m.observeBattery(lvl)
+					if !b.CanConsume(cost) {
+						m.EnergyOutageSlots++
+					}
+				}
+				if probe != nil {
+					probe.ObserveBattery(lvl)
 				}
 			}
 		}
@@ -1158,6 +1203,9 @@ func runIndependent(cfg Config, plans []indepSensorPlan) (*Result, error) {
 				m.MissAsleep++
 			}
 		}
+		if probe != nil {
+			probe.ObserveEvent(c)
+		}
 	}
 	if res.Events > 0 {
 		res.QoM = float64(res.Captures) / float64(res.Events)
@@ -1194,6 +1242,7 @@ func runIndependent(cfg Config, plans []indepSensorPlan) (*Result, error) {
 	if m != nil {
 		m.publish(res)
 	}
+	probe.finish(res)
 	return res, nil
 }
 

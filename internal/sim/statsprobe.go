@@ -1,0 +1,163 @@
+package sim
+
+import "eventcap/internal/stats"
+
+// statsPublishStride is how many QoM observations (events, or events
+// inside merged replications) accumulate between interim StatsSink
+// reports. A power of two, purely a publishing cadence: the probe's
+// accumulators see every observation regardless.
+const statsPublishStride = 1 << 14
+
+// statsBatteryDecimate thins the battery-occupancy stream inside the
+// probe: engines hand over every batterySampleStride-th slot (the
+// stream Metrics histograms), and the probe keeps every
+// statsBatteryDecimate-th of those. The three P² marker updates per
+// kept sample are the probe's only per-sample cost that is not O(1)
+// cheap, and quantiles of a quasi-stationary occupancy stream are
+// insensitive to an 8× thinning — this is what keeps the whole probe
+// inside the ≤2% slot-loop budget (TestStatsOverheadWithinBudget).
+const statsBatteryDecimate = 8
+
+// StatsProbe accumulates the streaming statistics of DESIGN.md §16
+// alongside a run: the per-event QoM indicator stream (batch means →
+// CI), per-replication QoM samples on the batch engines, and the
+// sampled battery-occupancy stream. It is RNG-neutral under the same
+// contract as Metrics and Span — it never consumes a random draw and
+// never changes an engine's control flow, so results are
+// byte-identical with the probe attached or not (asserted by
+// TestStatsDoNotChangeResults).
+//
+// Engines feed it single-threaded: per-event and per-replication
+// observations happen on the coordinating goroutine, and battery
+// samples come only from sensor 0's loop, which never overlaps the
+// event feed. The probe therefore carries no locks.
+type StatsProbe struct {
+	qom  stats.BatchMeans
+	reps stats.Welford
+
+	repEvents   int64
+	repCaptures int64
+
+	bat           stats.Welford
+	batSkip       int
+	p10, p50, p90 *stats.P2Quantile
+
+	sink      func(stats.Report)
+	sinceSink int64
+}
+
+// newStatsProbe returns the run's probe, or nil when neither
+// Config.Stats nor Config.StatsSink asks for one.
+func newStatsProbe(cfg *Config) *StatsProbe {
+	if !cfg.Stats && cfg.StatsSink == nil {
+		return nil
+	}
+	return &StatsProbe{
+		p10:  stats.NewP2Quantile(0.10),
+		p50:  stats.NewP2Quantile(0.50),
+		p90:  stats.NewP2Quantile(0.90),
+		sink: cfg.StatsSink,
+	}
+}
+
+// ObserveEvent folds one event's capture indicator into the QoM
+// stream, in slot order.
+func (sp *StatsProbe) ObserveEvent(captured bool) {
+	if captured {
+		sp.qom.Add(1)
+	} else {
+		sp.qom.Add(0)
+	}
+	sp.maybePublish(1)
+}
+
+// ObserveMisses folds n missed events in at once — the kernel's
+// fast-forwarded sleep runs resolve their events in bulk. Exactly
+// equivalent to n ObserveEvent(false) calls.
+func (sp *StatsProbe) ObserveMisses(n int64) {
+	if n <= 0 {
+		return
+	}
+	sp.qom.AddN(0, n)
+	sp.maybePublish(n)
+}
+
+// ObserveBattery folds one battery-occupancy sample (fraction of
+// capacity) in. Engines sample sensor 0 every batterySampleStride
+// slots, the same stream Metrics histograms; the probe keeps every
+// statsBatteryDecimate-th sample (deterministic in the call sequence,
+// so reports stay bit-reproducible).
+func (sp *StatsProbe) ObserveBattery(frac float64) {
+	sp.batSkip++
+	if sp.batSkip < statsBatteryDecimate {
+		return
+	}
+	sp.batSkip = 0
+	sp.bat.Add(frac)
+	sp.p10.Add(frac)
+	sp.p50.Add(frac)
+	sp.p90.Add(frac)
+}
+
+// ObserveReplica folds one replication's event totals in (the batch
+// engines observe at replication granularity, mirroring
+// Metrics.mergeReplica). Replications are fed in replication order; a
+// replication without events contributes to the totals but not to the
+// per-replication QoM sample.
+func (sp *StatsProbe) ObserveReplica(events, captures int64) {
+	sp.repEvents += events
+	sp.repCaptures += captures
+	if events > 0 {
+		sp.reps.Add(float64(captures) / float64(events))
+	}
+	sp.maybePublish(events)
+}
+
+// maybePublish sends an interim report to the sink every
+// statsPublishStride QoM observations.
+func (sp *StatsProbe) maybePublish(n int64) {
+	if sp.sink == nil {
+		return
+	}
+	sp.sinceSink += n
+	if sp.sinceSink >= statsPublishStride {
+		sp.sinceSink = 0
+		sp.sink(sp.Report())
+	}
+}
+
+// Report builds the probe's current report: the replication method
+// when replications were observed, batch means otherwise, plus the
+// battery summary when the occupancy stream was sampled.
+func (sp *StatsProbe) Report() stats.Report {
+	var r stats.Report
+	if sp.reps.N > 0 || sp.repEvents > 0 {
+		r = stats.ReplicationReport(sp.reps, sp.repEvents, sp.repCaptures, stats.DefaultCILevel)
+	} else {
+		r = stats.QoMReport(&sp.qom, stats.DefaultCILevel)
+	}
+	if sp.bat.N > 0 {
+		r.Battery = &stats.BatteryReport{
+			Count:  sp.bat.N,
+			Mean:   sp.bat.Mean,
+			StdDev: sp.bat.StdDev(),
+			P10:    sp.p10.Value(),
+			P50:    sp.p50.Value(),
+			P90:    sp.p90.Value(),
+		}
+	}
+	return r
+}
+
+// finish attaches the final report to res and sends it to the sink.
+// Nil-safe so engine epilogues can call it unconditionally.
+func (sp *StatsProbe) finish(res *Result) {
+	if sp == nil {
+		return
+	}
+	r := sp.Report()
+	res.Stats = &r
+	if sp.sink != nil {
+		sp.sink(r)
+	}
+}

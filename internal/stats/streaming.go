@@ -1,0 +1,585 @@
+package stats
+
+// Streaming (O(1)-memory) estimators behind the simulation's stats
+// probe (DESIGN.md §16): Welford mean/variance, the P² quantile
+// estimator, batch means with growing batch size for autocorrelated
+// per-slot series, MSER warmup truncation, and the relative-half-width
+// convergence monitor that drives CI-targeted early stop.
+//
+// Determinism matters more than generality here: the probe's reports
+// land in run manifests that `cmd/tracetool stats` re-derives from a
+// trace alone, so every accumulator below is written so that feeding
+// the same value sequence reproduces bit-identical state. In
+// particular BatchMeans.AddN is exact (not just close) for the 0/1
+// QoM indicator stream, because batch lengths are powers of two and
+// indicator sums are small integers — both exactly representable.
+
+import (
+	"math"
+	"sort"
+)
+
+// DefaultCILevel is the confidence level used for every streaming CI.
+// Fixed rather than configurable: one level keeps manifests, the
+// dashboard, and tracetool mutually comparable.
+const DefaultCILevel = 0.95
+
+// Report methods: how the CI in a Report was obtained.
+const (
+	// MethodBatchMeans: one run's per-event indicator stream, batched
+	// into power-of-two batches whose means feed the CI.
+	MethodBatchMeans = "batch-means"
+	// MethodReplication: independent replications (the batch engine),
+	// one QoM sample per replication.
+	MethodReplication = "replication"
+	// MethodPooled: several runs' reports pooled (an experiment series).
+	MethodPooled = "pooled"
+)
+
+// Welford is the standard online mean/variance accumulator
+// (numerically stable single-pass algorithm). The zero value is ready
+// to use. Merge implements the parallel combination of Chan et al., so
+// per-replication accumulators can be folded deterministically.
+type Welford struct {
+	N    int64
+	Mean float64
+	M2   float64
+}
+
+// Add folds one observation in.
+func (w *Welford) Add(x float64) {
+	w.N++
+	d := x - w.Mean
+	w.Mean += d / float64(w.N)
+	w.M2 += d * (x - w.Mean)
+}
+
+// AddN folds n identical observations in (a degenerate merge: mean x,
+// zero spread). Equivalent in law to n Add(x) calls but O(1).
+func (w *Welford) AddN(x float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	w.Merge(Welford{N: n, Mean: x})
+}
+
+// Merge folds another accumulator in (Chan et al. pairwise update).
+func (w *Welford) Merge(o Welford) {
+	if o.N == 0 {
+		return
+	}
+	if w.N == 0 {
+		*w = o
+		return
+	}
+	n := w.N + o.N
+	d := o.Mean - w.Mean
+	w.Mean += d * float64(o.N) / float64(n)
+	w.M2 += o.M2 + d*d*float64(w.N)*float64(o.N)/float64(n)
+	w.N = n
+}
+
+// Variance returns the sample variance (n−1 denominator), 0 for fewer
+// than two observations.
+func (w *Welford) Variance() float64 {
+	if w.N < 2 {
+		return 0
+	}
+	return w.M2 / float64(w.N-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.N < 1 {
+		return 0
+	}
+	return math.Sqrt(w.Variance() / float64(w.N))
+}
+
+// P2Quantile estimates a single quantile online with the P² algorithm
+// (Jain & Chlamtac 1985): five markers, O(1) memory, no stored
+// samples. For the first five observations the estimate is exact
+// (computed from the sorted prefix). Construct with NewP2Quantile.
+type P2Quantile struct {
+	p     float64
+	q     [5]float64 // marker heights (first 5 raw observations before init)
+	n     [5]int64   // marker positions (1-based)
+	np    [5]float64 // desired positions
+	dn    [5]float64 // desired-position increments
+	count int64
+}
+
+// NewP2Quantile returns an estimator for the p-quantile, 0 < p < 1.
+func NewP2Quantile(p float64) *P2Quantile {
+	return &P2Quantile{p: p}
+}
+
+// Count returns the number of observations folded in.
+func (e *P2Quantile) Count() int64 { return e.count }
+
+// P returns the target quantile.
+func (e *P2Quantile) P() float64 { return e.p }
+
+// Add folds one observation in.
+func (e *P2Quantile) Add(x float64) {
+	if e.count < 5 {
+		e.q[e.count] = x
+		e.count++
+		if e.count == 5 {
+			sort.Float64s(e.q[:])
+			p := e.p
+			e.n = [5]int64{1, 2, 3, 4, 5}
+			e.np = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+			e.dn = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+		}
+		return
+	}
+	// Find the cell k with q[k] <= x < q[k+1], extending extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x < e.q[1]:
+		k = 0
+	case x < e.q[2]:
+		k = 1
+	case x < e.q[3]:
+		k = 2
+	case x <= e.q[4]:
+		k = 3
+	default:
+		e.q[4] = x
+		k = 3
+	}
+	for i := k + 1; i < 5; i++ {
+		e.n[i]++
+	}
+	for i := range e.np {
+		e.np[i] += e.dn[i]
+	}
+	e.count++
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.np[i] - float64(e.n[i])
+		if (d >= 1 && e.n[i+1]-e.n[i] > 1) || (d <= -1 && e.n[i-1]-e.n[i] < -1) {
+			s := int64(1)
+			if d < 0 {
+				s = -1
+			}
+			if qn := e.parabolic(i, s); e.q[i-1] < qn && qn < e.q[i+1] {
+				e.q[i] = qn
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.n[i] += s
+		}
+	}
+}
+
+// parabolic is the piecewise-parabolic (P²) height update for marker i
+// moving by s ∈ {−1, +1}.
+func (e *P2Quantile) parabolic(i int, s int64) float64 {
+	fs := float64(s)
+	n0, n1, n2 := float64(e.n[i-1]), float64(e.n[i]), float64(e.n[i+1])
+	return e.q[i] + fs/(n2-n0)*
+		((n1-n0+fs)*(e.q[i+1]-e.q[i])/(n2-n1)+
+			(n2-n1-fs)*(e.q[i]-e.q[i-1])/(n1-n0))
+}
+
+// linear is the fallback height update when the parabolic prediction
+// would leave the bracket [q[i−1], q[i+1]].
+func (e *P2Quantile) linear(i int, s int64) float64 {
+	j := i + int(s)
+	return e.q[i] + float64(s)*(e.q[j]-e.q[i])/float64(e.n[j]-e.n[i])
+}
+
+// Value returns the current quantile estimate: exact for fewer than
+// five observations, the P² central marker afterwards. Returns 0 with
+// no observations.
+func (e *P2Quantile) Value() float64 {
+	if e.count == 0 {
+		return 0
+	}
+	if e.count < 5 {
+		xs := make([]float64, e.count)
+		copy(xs, e.q[:e.count])
+		sort.Float64s(xs)
+		// Linear interpolation at rank p·(n−1), matching Quantile.
+		pos := e.p * float64(len(xs)-1)
+		lo := int(pos)
+		if lo >= len(xs)-1 {
+			return xs[len(xs)-1]
+		}
+		frac := pos - float64(lo)
+		return xs[lo] + frac*(xs[lo+1]-xs[lo])
+	}
+	return e.q[2]
+}
+
+// batchMeansMaxBatches bounds BatchMeans memory: when the 64 slots
+// fill, adjacent batches pair-merge and the batch length doubles.
+// Power-of-two batch lengths keep every batch mean an exact dyadic
+// rational for 0/1 indicator streams, which is what lets
+// cmd/tracetool reproduce a probe report bit-for-bit from a trace.
+const batchMeansMaxBatches = 64
+
+// mserMinBatches is the minimum completed-batch count before MSER
+// truncation is attempted; below it the estimate is too noisy to
+// justify discarding data.
+const mserMinBatches = 8
+
+// BatchMeans accumulates a (possibly autocorrelated) series into
+// growing batches for CI estimation: the method of batch means with
+// power-of-two batch-size doubling. The zero value is ready to use
+// (initial batch length 1).
+type BatchMeans struct {
+	batchLen   int64
+	means      [batchMeansMaxBatches]float64
+	nb         int
+	curSum     float64
+	curCount   int64
+	totalSum   float64
+	totalCount int64
+}
+
+// Add folds one observation in.
+func (b *BatchMeans) Add(x float64) {
+	if b.batchLen == 0 {
+		b.batchLen = 1
+	}
+	b.totalSum += x
+	b.totalCount++
+	b.curSum += x
+	b.curCount++
+	if b.curCount == b.batchLen {
+		b.closeBatch()
+	}
+}
+
+// AddN folds n identical observations in, walking batch boundaries so
+// the resulting state matches n Add(x) calls. Exact (bit-identical to
+// the loop) whenever x·k is exactly representable for k up to the
+// batch length — always true for the 0/1 indicator streams this
+// package feeds it.
+func (b *BatchMeans) AddN(x float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	if b.batchLen == 0 {
+		b.batchLen = 1
+	}
+	b.totalSum += x * float64(n)
+	b.totalCount += n
+	for n > 0 {
+		take := b.batchLen - b.curCount
+		if take > n {
+			take = n
+		}
+		b.curSum += x * float64(take)
+		b.curCount += take
+		n -= take
+		if b.curCount == b.batchLen {
+			b.closeBatch()
+		}
+	}
+}
+
+func (b *BatchMeans) closeBatch() {
+	b.means[b.nb] = b.curSum / float64(b.batchLen)
+	b.nb++
+	b.curSum = 0
+	b.curCount = 0
+	if b.nb == batchMeansMaxBatches {
+		for i := 0; i < batchMeansMaxBatches/2; i++ {
+			b.means[i] = (b.means[2*i] + b.means[2*i+1]) / 2
+		}
+		b.nb = batchMeansMaxBatches / 2
+		b.batchLen *= 2
+	}
+}
+
+// Count returns the total number of observations folded in.
+func (b *BatchMeans) Count() int64 { return b.totalCount }
+
+// Sum returns the exact running sum of all observations.
+func (b *BatchMeans) Sum() float64 { return b.totalSum }
+
+// Mean returns the grand mean over every observation (not just the
+// completed batches).
+func (b *BatchMeans) Mean() float64 {
+	if b.totalCount == 0 {
+		return 0
+	}
+	return b.totalSum / float64(b.totalCount)
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int { return b.nb }
+
+// BatchLen returns the current batch length.
+func (b *BatchMeans) BatchLen() int64 {
+	if b.batchLen == 0 {
+		return 1
+	}
+	return b.batchLen
+}
+
+// CI computes a confidence interval from the completed batch means,
+// after MSER warmup truncation (attempted once mserMinBatches batches
+// exist). It returns the retained-batch sample mean and variance, the
+// CI half-width, the retained/truncated batch counts, and ok=false
+// when fewer than two batches remain (no CI possible yet).
+func (b *BatchMeans) CI(level float64) (sampleMean, variance, halfWidth float64, retained, truncated int, ok bool) {
+	d := 0
+	if b.nb >= mserMinBatches {
+		d = MSERTruncation(b.means[:b.nb])
+	}
+	retained = b.nb - d
+	truncated = d
+	if retained < 2 {
+		return 0, 0, 0, retained, truncated, false
+	}
+	var w Welford
+	for _, m := range b.means[d:b.nb] {
+		w.Add(m)
+	}
+	z := NormalQuantile(0.5 + level/2)
+	return w.Mean, w.Variance(), z * w.StdErr(), retained, truncated, true
+}
+
+// MSERTruncation returns the warmup truncation point d (in batches)
+// for the given batch-mean series: the d ∈ [0, n/2] minimizing the
+// MSER statistic SSE(d)/(n−d)², i.e. the squared standard error of
+// the retained mean. Computed with suffix sums in O(n).
+func MSERTruncation(means []float64) int {
+	n := len(means)
+	if n < 2 {
+		return 0
+	}
+	// Suffix sums: s[d] = Σ means[d:], s2[d] = Σ means[d:]².
+	s := make([]float64, n+1)
+	s2 := make([]float64, n+1)
+	for d := n - 1; d >= 0; d-- {
+		s[d] = s[d+1] + means[d]
+		s2[d] = s2[d+1] + means[d]*means[d]
+	}
+	best, bestD := math.Inf(1), 0
+	for d := 0; d <= n/2; d++ {
+		m := float64(n - d)
+		sse := s2[d] - s[d]*s[d]/m
+		if sse < 0 {
+			sse = 0 // numeric guard: SSE is non-negative by construction
+		}
+		if stat := sse / (m * m); stat < best {
+			best = stat
+			bestD = d
+		}
+	}
+	return bestD
+}
+
+// Report is the streaming-statistics summary attached to results,
+// manifests (schema v4), the run journal, and tracetool output. Events
+// and Captures are the exact totals behind Mean = Captures/Events; the
+// CI fields describe the uncertainty estimate named by Method.
+type Report struct {
+	// Method is how the CI was obtained: MethodBatchMeans,
+	// MethodReplication, or MethodPooled.
+	Method string `json:"method"`
+	// Events and Captures are the exact event totals; Mean is
+	// Captures/Events (the QoM point estimate).
+	Events   int64   `json:"events"`
+	Captures int64   `json:"captures"`
+	Mean     float64 `json:"mean"`
+
+	// Count is the number of CI samples behind the interval: retained
+	// batches (batch-means), replications (replication), or runs
+	// (pooled). SampleMean/Variance describe those samples — for the
+	// replication method SampleMean (the mean of per-replication QoMs)
+	// differs from the pooled Mean in general.
+	Count      int64   `json:"count,omitempty"`
+	SampleMean float64 `json:"sample_mean,omitempty"`
+	Variance   float64 `json:"variance,omitempty"`
+
+	// Level is the confidence level (set only when a CI was computed);
+	// HalfWidth the CI half-width around Mean, RelHalfWidth the ratio
+	// HalfWidth/Mean driving convergence decisions.
+	Level        float64 `json:"level,omitempty"`
+	HalfWidth    float64 `json:"half_width,omitempty"`
+	RelHalfWidth float64 `json:"rel_half_width,omitempty"`
+
+	// Batch-means bookkeeping: completed batches, current batch length,
+	// and the MSER warmup truncation (batches and observations dropped
+	// from the CI; the point estimate always uses every observation).
+	Batches          int   `json:"batches,omitempty"`
+	BatchLen         int64 `json:"batch_len,omitempty"`
+	TruncatedBatches int   `json:"truncated_batches,omitempty"`
+	TruncatedCount   int64 `json:"truncated_count,omitempty"`
+
+	// Of names the underlying per-run method for pooled reports:
+	// "batch-means", "replication", or "mixed".
+	Of string `json:"of,omitempty"`
+
+	// Battery summarizes the battery-occupancy stream, when sampled.
+	Battery *BatteryReport `json:"battery,omitempty"`
+}
+
+// BatteryReport summarizes the sampled battery-occupancy stream
+// (fractions of capacity in [0,1]).
+type BatteryReport struct {
+	Count  int64   `json:"count"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"std_dev"`
+	P10    float64 `json:"p10"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+}
+
+// Welford reconstructs the replication accumulator a Report was built
+// from (exact: M2 = Variance·(N−1)), so early-stop rounds can merge
+// per-round reports without keeping the accumulators alive.
+func (r Report) Welford() Welford {
+	if r.Count == 0 {
+		return Welford{}
+	}
+	return Welford{N: r.Count, Mean: r.SampleMean, M2: r.Variance * float64(r.Count-1)}
+}
+
+// QoMReport builds the batch-means Report for a 0/1 QoM indicator
+// stream accumulated in b. Both the sim probe and tracetool's replay
+// go through this one constructor, which is what makes their reports
+// comparable field by field.
+func QoMReport(b *BatchMeans, level float64) Report {
+	r := Report{
+		Method:   MethodBatchMeans,
+		Events:   b.Count(),
+		Captures: int64(math.Round(b.Sum())), // indicator sums are exact integers
+		Mean:     b.Mean(),
+		Batches:  b.Batches(),
+		BatchLen: b.BatchLen(),
+	}
+	sm, v, hw, retained, truncated, ok := b.CI(level)
+	if ok {
+		r.Count = int64(retained)
+		r.SampleMean = sm
+		r.Variance = v
+		r.Level = level
+		r.HalfWidth = hw
+		r.TruncatedBatches = truncated
+		r.TruncatedCount = int64(truncated) * b.BatchLen()
+		if r.Mean > 0 {
+			r.RelHalfWidth = hw / r.Mean
+		}
+	}
+	return r
+}
+
+// ReplicationReport builds the Report for independent replications:
+// one QoM sample per replication in w, exact event totals alongside.
+// Mean is the pooled Captures/Events; the CI is centered on it with
+// the spread of the per-replication samples.
+func ReplicationReport(w Welford, events, captures int64, level float64) Report {
+	r := Report{
+		Method:   MethodReplication,
+		Events:   events,
+		Captures: captures,
+		Count:    w.N,
+	}
+	if events > 0 {
+		r.Mean = float64(captures) / float64(events)
+	}
+	r.SampleMean = w.Mean
+	r.Variance = w.Variance()
+	if w.N >= 2 {
+		z := NormalQuantile(0.5 + level/2)
+		r.Level = level
+		r.HalfWidth = z * w.StdErr()
+		if r.Mean > 0 {
+			r.RelHalfWidth = r.HalfWidth / r.Mean
+		}
+	}
+	return r
+}
+
+// ConvergenceMonitor decides when a streaming estimate is tight
+// enough: the CI exists, rests on at least MinCount samples, and its
+// relative half-width is at or under TargetRelHW.
+type ConvergenceMonitor struct {
+	TargetRelHW float64
+	MinCount    int64
+}
+
+// Converged reports whether r satisfies the monitor's target.
+func (c ConvergenceMonitor) Converged(r Report) bool {
+	if c.TargetRelHW <= 0 || r.Level == 0 || r.Count < c.MinCount {
+		return false
+	}
+	return r.RelHalfWidth > 0 && r.RelHalfWidth <= c.TargetRelHW
+}
+
+// Pool combines per-run Reports into one pooled estimate for an
+// experiment series: exact pooled mean Σcaptures/Σevents, and a
+// half-width from the event-weighted per-run half-widths
+// (√Σ(eᵢ·hwᵢ)²/Σe — exact for independent runs). The zero value is
+// ready to use.
+type Pool struct {
+	runs     int64
+	events   int64
+	captures int64
+	wHW2     float64 // Σ (events_i · hw_i)²
+	of       string
+	noCI     bool // some run had no CI → pooled half-width unavailable
+}
+
+// Add folds one run's report in.
+func (p *Pool) Add(r Report) {
+	p.runs++
+	p.events += r.Events
+	p.captures += r.Captures
+	if r.Level == 0 {
+		p.noCI = true
+	} else {
+		w := float64(r.Events) * r.HalfWidth
+		p.wHW2 += w * w
+	}
+	method := r.Method
+	if r.Method == MethodPooled {
+		method = r.Of
+	}
+	switch {
+	case p.of == "":
+		p.of = method
+	case p.of != method:
+		p.of = "mixed"
+	}
+}
+
+// Runs returns the number of reports folded in.
+func (p *Pool) Runs() int64 { return p.runs }
+
+// Report returns the pooled report (method "pooled"). Level and the
+// half-width fields are set only when every folded run carried a CI.
+func (p *Pool) Report(level float64) Report {
+	r := Report{
+		Method:   MethodPooled,
+		Events:   p.events,
+		Captures: p.captures,
+		Count:    p.runs,
+		Of:       p.of,
+	}
+	if p.events > 0 {
+		r.Mean = float64(p.captures) / float64(p.events)
+	}
+	if p.runs > 0 && !p.noCI && p.events > 0 {
+		r.Level = level
+		r.HalfWidth = math.Sqrt(p.wHW2) / float64(p.events)
+		if r.Mean > 0 {
+			r.RelHalfWidth = r.HalfWidth / r.Mean
+		}
+	}
+	return r
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"eventcap/internal/stats"
+)
+
+// QoMReports rebuilds every run's QoM indicator stream from a trace
+// and feeds it through the same streaming batch-means estimator the
+// simulation's stats probe uses (stats.QoMReport), so the returned
+// reports line up field by field with a manifest's stats block.
+//
+// Within a run the stream is replayed in slot order, matching the
+// engines' chronological feed: a per-slot event record contributes its
+// capture indicator (ORed across sensors for fleet runs), a sleep span
+// contributes its events as misses in bulk at the span's start slot.
+// Batch lengths in the estimator are deterministic in the observation
+// sequence, so a single-run trace reproduces the probe's batch-means
+// CI bit for bit.
+func QoMReports(r io.Reader) ([]stats.Report, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var reports []stats.Report
+	type spanEvents struct {
+		slot   int64
+		events int64
+	}
+	var (
+		started    bool
+		eventFlags map[int64]uint8
+		spans      []spanEvents
+	)
+	closeRun := func() {
+		// Merge per-slot events and spans into one slot-ordered stream.
+		type obsAt struct {
+			slot     int64
+			span     bool
+			events   int64 // span only
+			captured bool  // event slot only
+		}
+		merged := make([]obsAt, 0, len(eventFlags)+len(spans))
+		// nondeterm:ok collect-then-sort: the sort below fixes the order
+		for slot, flags := range eventFlags {
+			merged = append(merged, obsAt{slot: slot, captured: flags&FlagCaptured != 0})
+		}
+		for _, s := range spans {
+			if s.events > 0 {
+				merged = append(merged, obsAt{slot: s.slot, span: true, events: s.events})
+			}
+		}
+		// Span slots never carry per-slot event records (the sensors
+		// were asleep), so slots are unique and the order total.
+		sort.Slice(merged, func(i, j int) bool { return merged[i].slot < merged[j].slot })
+		var qom stats.BatchMeans
+		for _, o := range merged {
+			if o.span {
+				qom.AddN(0, o.events)
+			} else if o.captured {
+				qom.Add(1)
+			} else {
+				qom.Add(0)
+			}
+		}
+		reports = append(reports, stats.QoMReport(&qom, stats.DefaultCILevel))
+	}
+	for {
+		f, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch f.Kind {
+		case FrameRunStart:
+			if started {
+				return nil, fmt.Errorf("trace: qom: run %d has no RunEnd frame", len(reports))
+			}
+			started = true
+			eventFlags = make(map[int64]uint8)
+			spans = spans[:0]
+		case FrameSlot:
+			if started && f.Rec.Flags&FlagEvent != 0 {
+				eventFlags[f.Rec.Slot] |= f.Rec.Flags
+			}
+		case FrameSpan:
+			if started {
+				spans = append(spans, spanEvents{slot: f.Span.Start, events: f.Span.Events})
+			}
+		case FrameRunEnd:
+			if !started {
+				return nil, fmt.Errorf("trace: qom: RunEnd without RunStart")
+			}
+			closeRun()
+			started = false
+		}
+	}
+	if started {
+		return nil, fmt.Errorf("trace: qom: trace ends mid-run (missing RunEnd)")
+	}
+	return reports, nil
+}
+
+// PoolQoM folds per-run reports into the pooled estimate tracetool
+// prints next to them.
+func PoolQoM(reports []stats.Report) stats.Report {
+	var p stats.Pool
+	for _, r := range reports {
+		p.Add(r)
+	}
+	return p.Report(stats.DefaultCILevel)
+}
